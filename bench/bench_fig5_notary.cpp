@@ -1,0 +1,156 @@
+// Figure 5 reproduction: notary latency vs document size (4 kB – 512 kB),
+// Komodo enclave vs native Linux process. The paper's result: the two lines
+// coincide — enclave overhead is negligible because the workload is dominated
+// by hashing and signing. Reported in milliseconds at 900 MHz.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/arm/cycle_model.h"
+#include "src/enclave/notary.h"
+#include "src/os/world.h"
+
+namespace komodo {
+namespace {
+
+// The notary enclave wired up with the full shared document region, as in
+// tests/enclave/notary_test.cc.
+struct NotaryRig {
+  os::World w{512};
+  enclave::NativeRuntime runtime{w.monitor};
+  std::shared_ptr<enclave::NotaryProgram> program;
+  PageNr thread = 0;
+  word doc_pg0 = 0;
+
+  explicit NotaryRig(uint64_t key_seed) {
+    auto& os = w.os;
+    const PageNr as = os.AllocSecurePage();
+    const PageNr l1pt = os.AllocSecurePage();
+    const PageNr l2 = os.AllocSecurePage();
+    if (os.InitAddrspace(as, l1pt).err != kErrSuccess ||
+        os.InitL2Table(as, l2, 0).err != kErrSuccess) {
+      std::abort();
+    }
+    const word staging = os.AllocInsecurePage();
+    os.WriteInsecurePage(staging, {0xe3a00001, 0xef000000});
+    const PageNr code = os.AllocSecurePage();
+    if (os.MapSecure(as, code, MakeMapping(os::kEnclaveCodeVa, kMapR | kMapX), staging).err !=
+        kErrSuccess) {
+      std::abort();
+    }
+    doc_pg0 = os.AllocInsecurePage();
+    for (word i = 1; i < enclave::kNotarySharedPages + 1; ++i) {
+      os.AllocInsecurePage();
+    }
+    for (word i = 0; i < enclave::kNotarySharedPages + 1; ++i) {
+      if (os.MapInsecure(
+                as,
+                MakeMapping(os::kEnclaveSharedVa + i * arm::kPageSize, kMapR | kMapW),
+                doc_pg0 + i)
+              .err != kErrSuccess) {
+        std::abort();
+      }
+    }
+    thread = os.AllocSecurePage();
+    if (os.InitThread(as, thread, os::kEnclaveCodeVa).err != kErrSuccess ||
+        os.Finalise(as).err != kErrSuccess) {
+      std::abort();
+    }
+    program = std::make_shared<enclave::NotaryProgram>(key_seed);
+    runtime.Register(l1pt, program);
+    if (w.os.Enter(thread, enclave::kNotaryCmdInit).err != kErrSuccess) {
+      std::abort();
+    }
+  }
+
+  void StageDocument(const std::vector<uint8_t>& doc) {
+    for (size_t i = 0; i < doc.size(); i += 4) {
+      word v = 0;
+      for (size_t j = 0; j < 4 && i + j < doc.size(); ++j) {
+        v |= static_cast<word>(doc[i + j]) << (8 * j);
+      }
+      w.machine.mem.Write(doc_pg0 * arm::kPageSize + static_cast<word>(i), v);
+    }
+  }
+
+  uint64_t NotarizeCycles(size_t len) {
+    const uint64_t before = w.machine.cycles.total();
+    if (w.os.Enter(thread, enclave::kNotaryCmdNotarize, static_cast<word>(len)).err !=
+        kErrSuccess) {
+      std::abort();
+    }
+    return w.machine.cycles.total() - before;
+  }
+};
+
+struct Fig5Row {
+  size_t kb;
+  double enclave_ms;
+  double native_ms;
+};
+
+std::vector<Fig5Row> MeasureFig5() {
+  NotaryRig rig(4242);
+  enclave::NotaryNative native(4242);
+  native.Init();
+
+  std::vector<Fig5Row> rows;
+  for (size_t kb : {4, 8, 16, 32, 64, 128, 256, 512}) {
+    const std::vector<uint8_t> doc(kb * 1024, static_cast<uint8_t>(kb));
+    rig.StageDocument(doc);
+    const uint64_t enclave_cycles = rig.NotarizeCycles(doc.size());
+    native.ResetCycles();
+    native.Notarize(doc);
+    rows.push_back({kb, arm::CyclesToMs(enclave_cycles), arm::CyclesToMs(native.cycles())});
+  }
+  return rows;
+}
+
+void PrintFig5(const std::vector<Fig5Row>& rows) {
+  std::printf("\n=== Figure 5: notary performance (ms at 900 MHz) ===\n");
+  std::printf("%10s %16s %16s %10s\n", "input (kB)", "Komodo enclave", "Linux process",
+              "overhead");
+  for (const Fig5Row& r : rows) {
+    std::printf("%10zu %16.2f %16.2f %9.2f%%\n", r.kb, r.enclave_ms, r.native_ms,
+                (r.enclave_ms - r.native_ms) / r.native_ms * 100.0);
+  }
+  std::printf(
+      "\nPaper shape: both lines coincide (enclave == native within noise), rising from\n"
+      "~30 ms (RSA-dominated) to ~70-80 ms at 512 kB (hash-dominated). Overhead %% must be\n"
+      "tiny at every size.\n");
+}
+
+void BM_NotaryEnclave(benchmark::State& state) {
+  NotaryRig rig(1);
+  const size_t kb = static_cast<size_t>(state.range(0));
+  const std::vector<uint8_t> doc(kb * 1024, 7);
+  rig.StageDocument(doc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.NotarizeCycles(doc.size()));
+  }
+  state.counters["doc_kB"] = static_cast<double>(kb);
+}
+BENCHMARK(BM_NotaryEnclave)->Arg(4)->Arg(64)->Arg(512);
+
+void BM_NotaryNative(benchmark::State& state) {
+  enclave::NotaryNative native(1);
+  native.Init();
+  const std::vector<uint8_t> doc(static_cast<size_t>(state.range(0)) * 1024, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(native.Notarize(doc));
+  }
+}
+BENCHMARK(BM_NotaryNative)->Arg(4)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace komodo
+
+int main(int argc, char** argv) {
+  komodo::PrintFig5(komodo::MeasureFig5());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Shared helpers for the benchmark binaries: paper-vs-measured table
+// printing and cycle-measurement probes built on the native enclave runtime.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace komodo::bench {
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%-28s %14s %14s %8s\n", "operation", "paper (cyc)", "measured (cyc)", "ratio");
+}
+
+inline void PrintRow(const std::string& name, double paper, double measured) {
+  std::printf("%-28s %14.0f %14.0f %7.2fx\n", name.c_str(), paper, measured,
+              measured / paper);
+}
+
+inline void PrintPlainRow(const std::string& name, const std::string& value) {
+  std::printf("%-28s %s\n", name.c_str(), value.c_str());
+}
+
+}  // namespace komodo::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

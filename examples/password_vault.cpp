@@ -1,0 +1,166 @@
+// A password-vault enclave: the secret lives in an enclave data page; the
+// untrusted OS can submit guesses through shared memory but can neither read
+// the secret nor reset the enclave's lockout counter — the intro's motivating
+// scenario of keeping credentials safe from a compromised kernel.
+//
+// Vault policy (all enforced by interpreted enclave code):
+//   * a guess is compared word-by-word against the secret, constant pattern;
+//   * 3 wrong guesses lock the vault permanently (counter in the data page);
+//   * on a correct guess the vault releases its payload to the shared page.
+//
+//   $ ./examples/password_vault
+#include <cstdio>
+
+#include "src/arm/assembler.h"
+#include "src/os/world.h"
+
+using namespace komodo;
+
+namespace {
+
+constexpr word kMaxAttempts = 3;
+// Data-page layout: words 0..3 secret, word 4 failed-attempt count,
+// words 5..8 payload released on success.
+// Shared-page layout: words 0..3 guess; word 4 result (1 ok / 0 bad / 2
+// locked); words 5..8 released payload.
+
+std::vector<word> VaultProgram() {
+  arm::Assembler a(os::kEnclaveCodeVa);
+  using namespace arm;
+  Assembler::Label locked = a.NewLabel();
+  Assembler::Label wrong = a.NewLabel();
+  Assembler::Label out = a.NewLabel();
+
+  a.MovImm(R4, os::kEnclaveDataVa);
+  a.MovImm(R5, os::kEnclaveSharedVa);
+
+  // Locked already?
+  a.Ldr(R6, R4, 16);  // attempts
+  a.Cmp(R6, kMaxAttempts);
+  a.B(locked, Cond::kCs);  // attempts >= max
+
+  // Compare the guess against the secret: accumulate XOR differences so the
+  // access pattern is guess-independent.
+  a.MovImm(R7, 0);
+  for (int i = 0; i < 4; ++i) {
+    a.Ldr(R8, R4, i * 4);   // secret word
+    a.Ldr(R9, R5, i * 4);   // guess word
+    a.Eor(R8, R8, R9);
+    a.Orr(R7, R7, R8);
+  }
+  a.Cmp(R7, 0u);
+  a.B(wrong, Cond::kNe);
+
+  // Correct: release the payload and reset the counter.
+  for (int i = 0; i < 4; ++i) {
+    a.Ldr(R8, R4, 20 + i * 4);
+    a.Str(R8, R5, 20 + i * 4);
+  }
+  a.MovImm(R6, 0);
+  a.Str(R6, R4, 16);
+  a.MovImm(R10, 1);
+  a.B(out);
+
+  a.Bind(wrong);
+  a.Add(R6, R6, 1u);
+  a.Str(R6, R4, 16);
+  a.MovImm(R10, 0);
+  a.B(out);
+
+  a.Bind(locked);
+  a.MovImm(R10, 2);
+
+  a.Bind(out);
+  a.Str(R10, R5, 16);  // result word
+  a.Mov(R1, R10);
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+  return a.Finish();
+}
+
+const char* ResultName(word r) {
+  switch (r) {
+    case 0:
+      return "rejected";
+    case 1:
+      return "ACCEPTED";
+    case 2:
+      return "locked out";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+int main() {
+  os::World world{64};
+  os::Os::BuildOptions opts;
+  opts.with_shared_page = true;
+  // Secret and payload are in the measured initial contents here for
+  // simplicity; a deployment would provision them post-attestation.
+  opts.data_init = {0xdead0001, 0xdead0002, 0xdead0003, 0xdead0004,  // secret
+                    0,                                               // attempts
+                    0xfeed0001, 0xfeed0002, 0xfeed0003, 0xfeed0004};  // payload
+  os::EnclaveHandle vault;
+  if (world.os.BuildEnclave(VaultProgram(), &opts, &vault) != kErrSuccess) {
+    return 1;
+  }
+  const word shared = opts.shared_insecure_pgnr;
+
+  auto attempt = [&](word g0, word g1, word g2, word g3) {
+    world.os.WriteInsecure(shared, 0, g0);
+    world.os.WriteInsecure(shared, 1, g1);
+    world.os.WriteInsecure(shared, 2, g2);
+    world.os.WriteInsecure(shared, 3, g3);
+    const os::SmcRet r = world.os.Enter(vault.thread);
+    std::printf("guess %08x...: %s\n", g0, ResultName(r.val));
+    return r.val;
+  };
+
+  // The OS guesses wrong twice, then right: payload released.
+  attempt(1, 2, 3, 4);
+  attempt(5, 6, 7, 8);
+  if (attempt(0xdead0001, 0xdead0002, 0xdead0003, 0xdead0004) != 1) {
+    return 1;
+  }
+  if (world.os.ReadInsecure(shared, 5) != 0xfeed0001) {
+    std::printf("payload missing!\n");
+    return 1;
+  }
+  std::printf("payload released: %08x %08x %08x %08x\n", world.os.ReadInsecure(shared, 5),
+              world.os.ReadInsecure(shared, 6), world.os.ReadInsecure(shared, 7),
+              world.os.ReadInsecure(shared, 8));
+
+  // A second vault gets brute-forced: three wrong guesses lock it for good —
+  // even the correct password is refused afterwards.
+  os::Os::BuildOptions opts2 = opts;
+  opts2.with_shared_page = true;
+  os::EnclaveHandle vault2;
+  if (world.os.BuildEnclave(VaultProgram(), &opts2, &vault2) != kErrSuccess) {
+    return 1;
+  }
+  const word shared2 = opts2.shared_insecure_pgnr;
+  auto attempt2 = [&](word g0) {
+    world.os.WriteInsecure(shared2, 0, g0);
+    world.os.WriteInsecure(shared2, 1, 0);
+    world.os.WriteInsecure(shared2, 2, 0);
+    world.os.WriteInsecure(shared2, 3, 0);
+    const os::SmcRet r = world.os.Enter(vault2.thread);
+    std::printf("brute force %08x: %s\n", g0, ResultName(r.val));
+    return r.val;
+  };
+  attempt2(0x111);
+  attempt2(0x222);
+  attempt2(0x333);
+  world.os.WriteInsecure(shared2, 1, 0xdead0002);
+  world.os.WriteInsecure(shared2, 2, 0xdead0003);
+  world.os.WriteInsecure(shared2, 3, 0xdead0004);
+  const word final_result = attempt2(0xdead0001);  // correct, but too late
+  if (final_result != 2) {
+    std::printf("lockout failed!\n");
+    return 1;
+  }
+  std::printf("vault locked: the OS cannot reset the counter — it lives in a secure page.\n");
+  return 0;
+}

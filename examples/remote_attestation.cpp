@@ -1,0 +1,103 @@
+// Remote attestation end-to-end (§4's deferred design, implemented):
+//
+//   attestor enclave ──Attest──► monitor MAC ──OS ferries──► signing enclave
+//        │                                                        │ Verify (monitor)
+//        │                                                        │ RSA sign
+//        ▼                                                        ▼
+//   its measurement                               signature a REMOTE party can check
+//
+// The remote verifier trusts only the signing enclave's endorsed public key —
+// it never sees the machine, the monitor, or the MAC key.
+//
+//   $ ./examples/remote_attestation
+#include <cstdio>
+#include <memory>
+
+#include "src/enclave/programs.h"
+#include "src/enclave/signing_enclave.h"
+#include "src/os/world.h"
+#include "src/spec/extract.h"
+
+using namespace komodo;
+using enclave::SigningEnclave;
+
+int main() {
+  os::World world{128};
+  enclave::NativeRuntime runtime(world.monitor);
+
+  // --- Attestor: an ordinary enclave with something to prove -------------------
+  os::Os::BuildOptions aopts;
+  aopts.with_shared_page = true;
+  os::EnclaveHandle attestor;
+  if (world.os.BuildEnclave(enclave::AttestProgram(), &aopts, &attestor) != kErrSuccess) {
+    return 1;
+  }
+
+  // --- Signing enclave: generates its key at init ------------------------------
+  os::Os::BuildOptions sopts;
+  sopts.with_shared_page = true;
+  os::EnclaveHandle signer;
+  if (world.os.BuildEnclave({0xe3a00001, 0xef000000}, &sopts, &signer) != kErrSuccess) {
+    return 1;
+  }
+  auto signing = std::make_shared<SigningEnclave>(/*key_seed=*/20170101);
+  runtime.Register(signer.l1pt, signing);
+  if (world.os.Enter(signer.thread, enclave::kSignerCmdInit).val != 1) {
+    return 1;
+  }
+  // "Provisioning": the device manufacturer endorses the signing key. The
+  // remote verifier receives exactly this value out of band.
+  const crypto::RsaPublicKey endorsed_key = signing->public_key();
+  std::printf("signing enclave key endorsed: n = %s...\n",
+              endorsed_key.n.ToHex().substr(0, 24).c_str());
+
+  // --- 1. The attestor produces a local attestation ----------------------------
+  const word kDataSeed = 0x7700;
+  if (world.os.Enter(attestor.thread, kDataSeed).err != kErrSuccess) {
+    return 1;
+  }
+  const auto db = spec::ExtractPageDb(world.machine);
+  const auto measurement = db[attestor.addrspace].As<spec::AddrspacePage>().measurement;
+  std::printf("attestor produced a local MAC over its measurement + data\n");
+
+  // --- 2. The untrusted OS ferries it to the signing enclave -------------------
+  for (word i = 0; i < 8; ++i) {
+    world.os.WriteInsecure(sopts.shared_insecure_pgnr, i, kDataSeed + i);
+    world.os.WriteInsecure(sopts.shared_insecure_pgnr, 8 + i, measurement[i]);
+    world.os.WriteInsecure(sopts.shared_insecure_pgnr, 16 + i,
+                           world.os.ReadInsecure(aopts.shared_insecure_pgnr, i));
+  }
+  if (world.os.Enter(signer.thread, enclave::kSignerCmdSign).val != 1) {
+    std::printf("signing enclave refused — forged attestation?\n");
+    return 1;
+  }
+  std::printf("signing enclave verified the MAC via the monitor and signed\n");
+
+  // --- 3. The remote verifier, with nothing but the endorsed key ---------------
+  std::vector<uint8_t> signature(128);
+  for (size_t i = 0; i < signature.size(); ++i) {
+    const word v = world.os.ReadInsecure(
+        sopts.shared_insecure_pgnr, (enclave::kSignerSigOffset + static_cast<word>(i)) / 4);
+    signature[i] = static_cast<uint8_t>(v >> ((i % 4) * 8));
+  }
+  std::array<word, 8> data;
+  std::array<word, 8> measure;
+  for (word i = 0; i < 8; ++i) {
+    data[i] = kDataSeed + i;
+    measure[i] = measurement[i];
+  }
+  const std::vector<uint8_t> message = SigningEnclave::SignedMessage(measure, data);
+  const bool ok =
+      crypto::RsaVerifySha256(endorsed_key, message.data(), message.size(), signature);
+  std::printf("remote verifier: signature %s — enclave identity %s\n", ok ? "valid" : "INVALID",
+              ok ? "proven to a party that never saw this machine" : "NOT proven");
+  if (!ok) {
+    return 1;
+  }
+
+  // --- 4. And a forgery does not get signed -------------------------------------
+  world.os.WriteInsecure(sopts.shared_insecure_pgnr, 16, 0xdeadbeef);  // corrupt the MAC
+  const bool refused = world.os.Enter(signer.thread, enclave::kSignerCmdSign).val == 0;
+  std::printf("forged MAC: signing enclave %s\n", refused ? "refused to sign" : "SIGNED (BUG)");
+  return refused ? 0 : 1;
+}

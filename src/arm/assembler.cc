@@ -1,0 +1,325 @@
+#include "src/arm/assembler.h"
+
+#include <cassert>
+
+namespace komodo::arm {
+
+namespace {
+constexpr vaddr kUnbound = ~0u;
+}
+
+Assembler::Label Assembler::NewLabel() {
+  label_addrs_.push_back(kUnbound);
+  return Label{label_addrs_.size() - 1};
+}
+
+void Assembler::Bind(Label label) {
+  assert(label_addrs_[label.id] == kUnbound && "label bound twice");
+  label_addrs_[label.id] = CurrentAddr();
+}
+
+vaddr Assembler::AddrOf(Label label) const {
+  assert(label_addrs_[label.id] != kUnbound);
+  return label_addrs_[label.id];
+}
+
+void Assembler::Emit(const Instruction& insn) { EmitWord(Encode(insn)); }
+
+void Assembler::EmitWord(word bits) {
+  assert(!finished_);
+  code_.push_back(bits);
+}
+
+void Assembler::Dp(Op op, Reg rd, Reg rn, Operand2 op2, Cond cond, bool set_flags) {
+  Instruction insn;
+  insn.op = op;
+  insn.cond = cond;
+  insn.set_flags = set_flags;
+  insn.rd = rd;
+  insn.rn = rn;
+  insn.op2 = op2;
+  Emit(insn);
+}
+
+void Assembler::DpImm(Op op, Reg rd, Reg rn, word imm, Cond cond, bool set_flags) {
+  const std::optional<Operand2> op2 = Operand2::TryImm32(imm);
+  assert(op2.has_value() && "immediate not encodable; use MovImm into a scratch register");
+  Dp(op, rd, rn, *op2, cond, set_flags);
+}
+
+void Assembler::MovImm(Reg rd, word value, Cond cond) {
+  if (const std::optional<Operand2> imm = Operand2::TryImm32(value)) {
+    Dp(Op::kMov, rd, R0, *imm, cond);
+    return;
+  }
+  if (const std::optional<Operand2> inv = Operand2::TryImm32(~value)) {
+    Dp(Op::kMvn, rd, R0, *inv, cond);
+    return;
+  }
+  Instruction movw;
+  movw.op = Op::kMovw;
+  movw.cond = cond;
+  movw.rd = rd;
+  movw.trap_imm = value & 0xffff;
+  Emit(movw);
+  if ((value >> 16) != 0) {
+    Instruction movt;
+    movt.op = Op::kMovt;
+    movt.cond = cond;
+    movt.rd = rd;
+    movt.trap_imm = value >> 16;
+    Emit(movt);
+  }
+}
+
+void Assembler::Mov(Reg rd, Reg rm, Cond cond) { Dp(Op::kMov, rd, R0, Operand2::Rm(rm), cond); }
+void Assembler::Mvn(Reg rd, Reg rm) { Dp(Op::kMvn, rd, R0, Operand2::Rm(rm)); }
+void Assembler::Add(Reg rd, Reg rn, word imm, Cond cond) { DpImm(Op::kAdd, rd, rn, imm, cond); }
+void Assembler::Add(Reg rd, Reg rn, Reg rm, Cond cond) {
+  Dp(Op::kAdd, rd, rn, Operand2::Rm(rm), cond);
+}
+void Assembler::Adc(Reg rd, Reg rn, Reg rm) { Dp(Op::kAdc, rd, rn, Operand2::Rm(rm)); }
+void Assembler::Sub(Reg rd, Reg rn, word imm, Cond cond) { DpImm(Op::kSub, rd, rn, imm, cond); }
+void Assembler::Sub(Reg rd, Reg rn, Reg rm, Cond cond) {
+  Dp(Op::kSub, rd, rn, Operand2::Rm(rm), cond);
+}
+void Assembler::Sbc(Reg rd, Reg rn, Reg rm) { Dp(Op::kSbc, rd, rn, Operand2::Rm(rm)); }
+void Assembler::Rsb(Reg rd, Reg rn, word imm) { DpImm(Op::kRsb, rd, rn, imm); }
+
+void Assembler::Mul(Reg rd, Reg rm, Reg rs) {
+  Instruction insn;
+  insn.op = Op::kMul;
+  insn.rd = rd;
+  insn.rm = rm;
+  insn.rn = rs;
+  Emit(insn);
+}
+
+void Assembler::And(Reg rd, Reg rn, word imm) { DpImm(Op::kAnd, rd, rn, imm); }
+void Assembler::And(Reg rd, Reg rn, Reg rm) { Dp(Op::kAnd, rd, rn, Operand2::Rm(rm)); }
+void Assembler::Orr(Reg rd, Reg rn, word imm) { DpImm(Op::kOrr, rd, rn, imm); }
+void Assembler::Orr(Reg rd, Reg rn, Reg rm) { Dp(Op::kOrr, rd, rn, Operand2::Rm(rm)); }
+void Assembler::Eor(Reg rd, Reg rn, word imm) { DpImm(Op::kEor, rd, rn, imm); }
+void Assembler::Eor(Reg rd, Reg rn, Reg rm) { Dp(Op::kEor, rd, rn, Operand2::Rm(rm)); }
+void Assembler::Bic(Reg rd, Reg rn, word imm) { DpImm(Op::kBic, rd, rn, imm); }
+
+void Assembler::Shift(Reg rd, Reg rm, ShiftKind kind, uint8_t amount) {
+  Dp(Op::kMov, rd, R0, Operand2::Rm(rm, kind, amount));
+}
+void Assembler::Lsl(Reg rd, Reg rm, uint8_t amount) { Shift(rd, rm, ShiftKind::kLsl, amount); }
+void Assembler::Lsr(Reg rd, Reg rm, uint8_t amount) { Shift(rd, rm, ShiftKind::kLsr, amount); }
+void Assembler::Asr(Reg rd, Reg rm, uint8_t amount) { Shift(rd, rm, ShiftKind::kAsr, amount); }
+void Assembler::Ror(Reg rd, Reg rm, uint8_t amount) {
+  assert(amount != 0 && "ROR #0 encodes RRX");
+  Shift(rd, rm, ShiftKind::kRor, amount);
+}
+
+void Assembler::AddShifted(Reg rd, Reg rn, Reg rm, ShiftKind shift, uint8_t amount) {
+  Dp(Op::kAdd, rd, rn, Operand2::Rm(rm, shift, amount));
+}
+void Assembler::OrrShifted(Reg rd, Reg rn, Reg rm, ShiftKind shift, uint8_t amount) {
+  Dp(Op::kOrr, rd, rn, Operand2::Rm(rm, shift, amount));
+}
+void Assembler::EorShifted(Reg rd, Reg rn, Reg rm, ShiftKind shift, uint8_t amount) {
+  Dp(Op::kEor, rd, rn, Operand2::Rm(rm, shift, amount));
+}
+void Assembler::AndShifted(Reg rd, Reg rn, Reg rm, ShiftKind shift, uint8_t amount) {
+  Dp(Op::kAnd, rd, rn, Operand2::Rm(rm, shift, amount));
+}
+
+void Assembler::Cmp(Reg rn, word imm, Cond cond) { DpImm(Op::kCmp, R0, rn, imm, cond); }
+void Assembler::Cmp(Reg rn, Reg rm, Cond cond) { Dp(Op::kCmp, R0, rn, Operand2::Rm(rm), cond); }
+void Assembler::Tst(Reg rn, word imm) { DpImm(Op::kTst, R0, rn, imm); }
+
+void Assembler::Adds(Reg rd, Reg rn, Reg rm) {
+  Dp(Op::kAdd, rd, rn, Operand2::Rm(rm), Cond::kAl, /*set_flags=*/true);
+}
+void Assembler::Subs(Reg rd, Reg rn, Reg rm) {
+  Dp(Op::kSub, rd, rn, Operand2::Rm(rm), Cond::kAl, /*set_flags=*/true);
+}
+void Assembler::Subs(Reg rd, Reg rn, word imm) {
+  DpImm(Op::kSub, rd, rn, imm, Cond::kAl, /*set_flags=*/true);
+}
+
+void Assembler::MemOp(Op op, Reg rd, Reg rn, int32_t offset, Cond cond) {
+  Instruction insn;
+  insn.op = op;
+  insn.cond = cond;
+  insn.rd = rd;
+  insn.rn = rn;
+  insn.mem_add = offset >= 0;
+  const uint32_t magnitude = static_cast<uint32_t>(offset >= 0 ? offset : -offset);
+  assert(magnitude <= 0xfff && "LDR/STR offset out of range");
+  insn.mem_imm12 = static_cast<uint16_t>(magnitude);
+  Emit(insn);
+}
+
+void Assembler::Ldr(Reg rd, Reg rn, int32_t offset, Cond cond) {
+  MemOp(Op::kLdr, rd, rn, offset, cond);
+}
+void Assembler::Str(Reg rd, Reg rn, int32_t offset, Cond cond) {
+  MemOp(Op::kStr, rd, rn, offset, cond);
+}
+void Assembler::Ldrb(Reg rd, Reg rn, int32_t offset) { MemOp(Op::kLdrb, rd, rn, offset, Cond::kAl); }
+void Assembler::Strb(Reg rd, Reg rn, int32_t offset) { MemOp(Op::kStrb, rd, rn, offset, Cond::kAl); }
+
+void Assembler::Ldmia(Reg rn, uint16_t reg_mask, bool writeback) {
+  assert(reg_mask != 0);
+  Instruction insn;
+  insn.op = Op::kLdm;
+  insn.rn = rn;
+  insn.reg_list = reg_mask;
+  insn.mem_add = true;
+  insn.block_pre = false;
+  insn.block_wback = writeback;
+  Emit(insn);
+}
+
+void Assembler::Stmia(Reg rn, uint16_t reg_mask, bool writeback) {
+  assert(reg_mask != 0);
+  Instruction insn;
+  insn.op = Op::kStm;
+  insn.rn = rn;
+  insn.reg_list = reg_mask;
+  insn.mem_add = true;
+  insn.block_pre = false;
+  insn.block_wback = writeback;
+  Emit(insn);
+}
+
+void Assembler::Push(uint16_t reg_mask) {
+  assert(reg_mask != 0);
+  Instruction insn;
+  insn.op = Op::kStm;
+  insn.rn = SP;
+  insn.reg_list = reg_mask;
+  insn.mem_add = false;   // descending
+  insn.block_pre = true;  // before
+  insn.block_wback = true;
+  Emit(insn);
+}
+
+void Assembler::Pop(uint16_t reg_mask) {
+  assert(reg_mask != 0);
+  Instruction insn;
+  insn.op = Op::kLdm;
+  insn.rn = SP;
+  insn.reg_list = reg_mask;
+  insn.mem_add = true;     // ascending
+  insn.block_pre = false;  // after
+  insn.block_wback = true;
+  Emit(insn);
+}
+
+void Assembler::LdrReg(Reg rd, Reg rn, Reg rm) {
+  Instruction insn;
+  insn.op = Op::kLdr;
+  insn.rd = rd;
+  insn.rn = rn;
+  insn.rm = rm;
+  insn.mem_reg_offset = true;
+  Emit(insn);
+}
+
+void Assembler::StrReg(Reg rd, Reg rn, Reg rm) {
+  Instruction insn;
+  insn.op = Op::kStr;
+  insn.rd = rd;
+  insn.rn = rn;
+  insn.rm = rm;
+  insn.mem_reg_offset = true;
+  Emit(insn);
+}
+
+void Assembler::B(Label target, Cond cond) {
+  fixups_.push_back({code_.size(), target.id});
+  Instruction insn;
+  insn.op = Op::kB;
+  insn.cond = cond;
+  Emit(insn);
+}
+
+void Assembler::Bl(Label target, Cond cond) {
+  fixups_.push_back({code_.size(), target.id});
+  Instruction insn;
+  insn.op = Op::kBl;
+  insn.cond = cond;
+  Emit(insn);
+}
+
+void Assembler::Bx(Reg rm) {
+  Instruction insn;
+  insn.op = Op::kBx;
+  insn.rm = rm;
+  Emit(insn);
+}
+
+void Assembler::Svc(word imm, Cond cond) {
+  Instruction insn;
+  insn.op = Op::kSvc;
+  insn.cond = cond;
+  insn.trap_imm = imm;
+  Emit(insn);
+}
+
+void Assembler::Smc(word imm) {
+  Instruction insn;
+  insn.op = Op::kSmc;
+  insn.trap_imm = imm;
+  Emit(insn);
+}
+
+void Assembler::MrsCpsr(Reg rd) {
+  Instruction insn;
+  insn.op = Op::kMrs;
+  insn.rd = rd;
+  Emit(insn);
+}
+
+void Assembler::MsrCpsr(Reg rm) {
+  Instruction insn;
+  insn.op = Op::kMsr;
+  insn.rm = rm;
+  Emit(insn);
+}
+
+void Assembler::Mcr(Reg rt, uint8_t opc1, uint8_t crn, uint8_t crm, uint8_t opc2) {
+  Instruction insn;
+  insn.op = Op::kMcr;
+  insn.rd = rt;
+  insn.cp_opc1 = opc1;
+  insn.cp_crn = crn;
+  insn.cp_crm = crm;
+  insn.cp_opc2 = opc2;
+  Emit(insn);
+}
+
+void Assembler::Mrc(Reg rt, uint8_t opc1, uint8_t crn, uint8_t crm, uint8_t opc2) {
+  Instruction insn;
+  insn.op = Op::kMrc;
+  insn.rd = rt;
+  insn.cp_opc1 = opc1;
+  insn.cp_crn = crn;
+  insn.cp_crm = crm;
+  insn.cp_opc2 = opc2;
+  Emit(insn);
+}
+
+std::vector<word> Assembler::Finish() {
+  assert(!finished_);
+  finished_ = true;
+  for (const Fixup& fixup : fixups_) {
+    const vaddr target = label_addrs_[fixup.label_id];
+    assert(target != kUnbound && "unbound label at Finish()");
+    const vaddr insn_addr = base_ + static_cast<word>(fixup.code_index) * kWordSize;
+    const int64_t offset = static_cast<int64_t>(target) - (static_cast<int64_t>(insn_addr) + 8);
+    assert(offset >= -(1 << 25) && offset < (1 << 25) && (offset & 3) == 0);
+    std::optional<Instruction> insn = Decode(code_[fixup.code_index]);
+    assert(insn.has_value());
+    insn->branch_offset = static_cast<int32_t>(offset);
+    code_[fixup.code_index] = Encode(*insn);
+  }
+  return code_;
+}
+
+}  // namespace komodo::arm

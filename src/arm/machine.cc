@@ -1,0 +1,122 @@
+#include "src/arm/machine.h"
+
+#include <cassert>
+
+namespace komodo::arm {
+
+word VectorOffset(Exception e) {
+  switch (e) {
+    case Exception::kUndefined:
+      return 0x04;
+    case Exception::kSvc:
+      return 0x08;
+    case Exception::kSmc:
+      return 0x08;  // SMC uses the monitor vector table's 0x08 slot
+    case Exception::kPrefetchAbort:
+      return 0x0c;
+    case Exception::kDataAbort:
+      return 0x10;
+    case Exception::kIrq:
+      return 0x18;
+    case Exception::kFiq:
+      return 0x1c;
+  }
+  return 0;
+}
+
+Mode ExceptionTargetMode(Exception e) {
+  switch (e) {
+    case Exception::kUndefined:
+      return Mode::kUndefined;
+    case Exception::kSvc:
+      return Mode::kSupervisor;
+    case Exception::kSmc:
+      return Mode::kMonitor;
+    case Exception::kPrefetchAbort:
+    case Exception::kDataAbort:
+      return Mode::kAbort;
+    case Exception::kIrq:
+      return Mode::kIrq;
+    case Exception::kFiq:
+      return Mode::kFiq;
+  }
+  return Mode::kSupervisor;
+}
+
+MachineState::MachineState(word nsecure_pages) : mem(nsecure_pages) {
+  cpsr.mode = Mode::kSupervisor;
+  cpsr.irq_masked = true;
+  cpsr.fiq_masked = true;
+}
+
+word MachineState::ReadReg(Reg reg) const { return ReadRegMode(reg, cpsr.mode); }
+
+void MachineState::WriteReg(Reg reg, word value) { WriteRegMode(reg, value, cpsr.mode); }
+
+word MachineState::ReadRegMode(Reg reg, Mode m) const {
+  if (reg < SP) {
+    return r[reg];
+  }
+  if (reg == SP) {
+    return sp_banked[static_cast<size_t>(m)];
+  }
+  if (reg == LR) {
+    return lr_banked[static_cast<size_t>(m)];
+  }
+  return pc;
+}
+
+void MachineState::WriteRegMode(Reg reg, word value, Mode m) {
+  if (reg < SP) {
+    r[reg] = value;
+  } else if (reg == SP) {
+    sp_banked[static_cast<size_t>(m)] = value;
+  } else if (reg == LR) {
+    lr_banked[static_cast<size_t>(m)] = value;
+  } else {
+    pc = value;
+  }
+}
+
+void MachineState::TakeException(Exception e, word return_addr) {
+  const Mode target = ExceptionTargetMode(e);
+  lr_banked[static_cast<size_t>(target)] = return_addr;
+  spsr_banked[static_cast<size_t>(target)] = cpsr;
+
+  cpsr.mode = target;
+  cpsr.irq_masked = true;
+  if (e == Exception::kFiq || e == Exception::kSmc) {
+    cpsr.fiq_masked = true;
+  }
+
+  const word base = (target == Mode::kMonitor) ? vbar_monitor : vbar_secure;
+  pc = base + VectorOffset(e);
+  cycles.Charge(kCortexA7Costs.exception_entry);
+}
+
+void MachineState::ExceptionReturn(word target) {
+  assert(cpsr.mode != Mode::kUser);
+  const Psr saved = Spsr();
+  cpsr = saved;
+  pc = target;
+  cycles.Charge(kCortexA7Costs.exception_return);
+}
+
+void MachineState::WriteTtbr0(word value) {
+  ttbr0 = value;
+  tlb_consistent = false;
+  cycles.Charge(kCortexA7Costs.cp15_access);
+}
+
+void MachineState::FlushTlb() {
+  tlb_consistent = true;
+  cycles.Charge(kCortexA7Costs.tlb_flush_all);
+}
+
+void MachineState::SetScrNs(bool ns) {
+  assert(cpsr.mode == Mode::kMonitor);
+  scr_ns = ns;
+  cycles.Charge(kCortexA7Costs.world_switch);
+}
+
+}  // namespace komodo::arm

@@ -1,0 +1,112 @@
+// The ARMv7-A + TrustZone machine state and its architectural transitions.
+//
+// Mirrors the paper's trusted Dafny hardware model (§5.1): core registers
+// R0–R12, banked SP/LR/SPSR per mode, CPSR fields, TrustZone worlds via
+// SCR.NS, translation-table base registers, a TLB-consistency bit, exception
+// entry/return, and physical memory. The program counter is modelled
+// explicitly here (the interpreter needs it); structured-control-flow
+// reasoning was a verification convenience in the paper, not an architectural
+// property.
+#ifndef SRC_ARM_MACHINE_H_
+#define SRC_ARM_MACHINE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/arm/cycle_model.h"
+#include "src/arm/memory.h"
+#include "src/arm/psr.h"
+#include "src/arm/types.h"
+
+namespace komodo::arm {
+
+// Exception kinds the model can take (DDI 0406C §B1.8). Reset is unmodelled;
+// the bootloader constructs the initial state directly.
+enum class Exception : uint8_t {
+  kUndefined,
+  kSvc,
+  kSmc,
+  kPrefetchAbort,
+  kDataAbort,
+  kIrq,
+  kFiq,
+};
+
+// Vector-table offsets for each exception kind.
+word VectorOffset(Exception e);
+// The mode an exception is taken to. SMC always enters monitor mode.
+Mode ExceptionTargetMode(Exception e);
+
+struct MachineState {
+  explicit MachineState(word nsecure_pages = kDefaultSecurePages);
+
+  // --- Core registers -------------------------------------------------------
+  std::array<word, 13> r{};  // R0-R12 (not banked; FIQ banking of R8-R12 is
+                             // unused by Komodo and unmodelled, like the paper)
+  word pc = 0;
+  Psr cpsr;
+
+  // Banked SP/LR per mode (index by Mode).
+  std::array<word, kNumModes> sp_banked{};
+  std::array<word, kNumModes> lr_banked{};
+  // Banked SPSR per privileged mode; the user-mode slot is unused.
+  std::array<Psr, kNumModes> spsr_banked{};
+
+  // --- System control -------------------------------------------------------
+  bool scr_ns = false;      // SCR.NS: current world when not in monitor mode
+  word ttbr0 = 0;           // enclave page-table base (low 1 GB, TTBCR.N=2)
+  word ttbr1 = 0;           // monitor static table base (high addresses)
+  word vbar_secure = 0;     // secure-world exception vector base
+  word vbar_monitor = 0;    // monitor vector base (SMC lands here)
+
+  // TLB consistency (§5.1): stores to a live page table or TTBR writes mark
+  // the TLB inconsistent; user-mode execution requires consistency.
+  bool tlb_consistent = true;
+
+  // Pending asynchronous interrupt lines, injectable by the environment /
+  // test harness. Checked before each interpreted instruction.
+  bool pending_irq = false;
+  bool pending_fiq = false;
+
+  PhysMemory mem;
+  CycleCounter cycles;
+
+  // --- Accessors honouring register banking ---------------------------------
+  World CurrentWorld() const {
+    // Monitor mode is always secure regardless of SCR.NS (DDI 0406C §B1.5.1).
+    if (cpsr.mode == Mode::kMonitor) {
+      return World::kSecure;
+    }
+    return scr_ns ? World::kNormal : World::kSecure;
+  }
+
+  word ReadReg(Reg reg) const;           // current-mode view (SP/LR banked)
+  void WriteReg(Reg reg, word value);    // PC writes are a branch
+  word ReadRegMode(Reg reg, Mode m) const;
+  void WriteRegMode(Reg reg, word value, Mode m);
+
+  Psr& Spsr() { return spsr_banked[static_cast<size_t>(cpsr.mode)]; }
+  const Psr& Spsr() const { return spsr_banked[static_cast<size_t>(cpsr.mode)]; }
+
+  // --- Architectural transitions --------------------------------------------
+
+  // Takes exception `e`: banks the return address and CPSR into the target
+  // mode's LR/SPSR, switches mode, masks IRQs (and FIQs for FIQ/SMC), and
+  // branches to the vector. `return_addr` is the architecturally preferred
+  // return address for `e`. Charges exception-entry cycles.
+  void TakeException(Exception e, word return_addr);
+
+  // Exception return (MOVS PC, LR semantics): restores CPSR from the current
+  // mode's SPSR and branches to `target`. Charges exception-return cycles.
+  // The caller is responsible for having set up banked user state.
+  void ExceptionReturn(word target);
+
+  // CP15 operations the monitor uses.
+  void WriteTtbr0(word value);     // marks TLB inconsistent
+  void FlushTlb();                 // TLBIALL: marks TLB consistent
+  void SetScrNs(bool ns);          // world switch (monitor mode only)
+};
+
+}  // namespace komodo::arm
+
+#endif  // SRC_ARM_MACHINE_H_

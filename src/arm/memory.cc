@@ -1,0 +1,106 @@
+#include "src/arm/memory.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace komodo::arm {
+
+PhysMemory::PhysMemory(word nsecure_pages)
+    : nsecure_pages_(nsecure_pages),
+      insecure_(kInsecureSize / kWordSize, 0),
+      monitor_(kMonitorSize / kWordSize, 0),
+      secure_(static_cast<size_t>(nsecure_pages) * kWordsPerPage, 0) {
+  assert(nsecure_pages >= 1 && nsecure_pages <= kMaxSecurePages);
+}
+
+MemRegion PhysMemory::RegionOf(paddr addr) const {
+  if (addr >= kInsecureBase && addr < kInsecureBase + kInsecureSize) {
+    return MemRegion::kInsecure;
+  }
+  if (addr >= kMonitorBase && addr < kMonitorBase + kMonitorSize) {
+    return MemRegion::kMonitor;
+  }
+  const word secure_size = nsecure_pages_ * kPageSize;
+  if (addr >= kSecurePagesBase && addr < kSecurePagesBase + secure_size) {
+    return MemRegion::kSecurePages;
+  }
+  return MemRegion::kUnmapped;
+}
+
+const std::vector<word>* PhysMemory::BackingFor(paddr addr, size_t* index) const {
+  switch (RegionOf(addr)) {
+    case MemRegion::kInsecure:
+      *index = (addr - kInsecureBase) / kWordSize;
+      return &insecure_;
+    case MemRegion::kMonitor:
+      *index = (addr - kMonitorBase) / kWordSize;
+      return &monitor_;
+    case MemRegion::kSecurePages:
+      *index = (addr - kSecurePagesBase) / kWordSize;
+      return &secure_;
+    case MemRegion::kUnmapped:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+word PhysMemory::Read(paddr addr) const {
+  assert(IsWordAligned(addr));
+  size_t index = 0;
+  const std::vector<word>* backing = BackingFor(addr, &index);
+  assert(backing != nullptr);
+  return (*backing)[index];
+}
+
+void PhysMemory::Write(paddr addr, word value) {
+  assert(IsWordAligned(addr));
+  size_t index = 0;
+  const std::vector<word>* backing = BackingFor(addr, &index);
+  assert(backing != nullptr);
+  const_cast<std::vector<word>*>(backing)->at(index) = value;
+}
+
+void PhysMemory::ReadPage(paddr page_base, word out[kWordsPerPage]) const {
+  assert(IsPageAligned(page_base));
+  for (word i = 0; i < kWordsPerPage; ++i) {
+    out[i] = Read(page_base + i * kWordSize);
+  }
+}
+
+void PhysMemory::WritePage(paddr page_base, const word in[kWordsPerPage]) {
+  assert(IsPageAligned(page_base));
+  for (word i = 0; i < kWordsPerPage; ++i) {
+    Write(page_base + i * kWordSize, in[i]);
+  }
+}
+
+void PhysMemory::ZeroPage(paddr page_base) {
+  assert(IsPageAligned(page_base));
+  for (word i = 0; i < kWordsPerPage; ++i) {
+    Write(page_base + i * kWordSize, 0);
+  }
+}
+
+void PhysMemory::ReadPageBytes(paddr page_base, uint8_t* bytes_out) const {
+  assert(IsPageAligned(page_base));
+  for (word i = 0; i < kWordsPerPage; ++i) {
+    const word w = Read(page_base + i * kWordSize);
+    bytes_out[i * 4 + 0] = static_cast<uint8_t>(w & 0xff);
+    bytes_out[i * 4 + 1] = static_cast<uint8_t>((w >> 8) & 0xff);
+    bytes_out[i * 4 + 2] = static_cast<uint8_t>((w >> 16) & 0xff);
+    bytes_out[i * 4 + 3] = static_cast<uint8_t>((w >> 24) & 0xff);
+  }
+}
+
+bool IsInsecurePageAddr(const PhysMemory& mem, paddr page_base) {
+  if (!IsPageAligned(page_base)) {
+    return false;
+  }
+  // The whole page must fall in insecure RAM. Regions are page-aligned, so
+  // checking the base suffices, but we check the last word as well to stay
+  // robust if the map constants ever change.
+  return mem.RegionOf(page_base) == MemRegion::kInsecure &&
+         mem.RegionOf(page_base + kPageSize - kWordSize) == MemRegion::kInsecure;
+}
+
+}  // namespace komodo::arm

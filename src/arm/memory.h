@@ -1,0 +1,71 @@
+// Physical memory for the machine model.
+//
+// Following the paper's Dafny model (§5.1), memory is a map from word-aligned
+// physical addresses to 32-bit words; only aligned word accesses exist.
+// Memory is split into the three regions of the physical map (insecure RAM,
+// monitor image, secure pages) so that region predicates — which the monitor's
+// validity checks depend on — are cheap and explicit.
+#ifndef SRC_ARM_MEMORY_H_
+#define SRC_ARM_MEMORY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/arm/types.h"
+
+namespace komodo::arm {
+
+// Identifies which physical region an address falls in.
+enum class MemRegion { kInsecure, kMonitor, kSecurePages, kUnmapped };
+
+class PhysMemory {
+ public:
+  // `nsecure_pages` is the bootloader-configured size of the secure page
+  // region (GetPhysPages returns it).
+  explicit PhysMemory(word nsecure_pages = kDefaultSecurePages);
+
+  word nsecure_pages() const { return nsecure_pages_; }
+
+  MemRegion RegionOf(paddr addr) const;
+  bool IsValidPhys(paddr addr) const { return RegionOf(addr) != MemRegion::kUnmapped; }
+
+  // Word access. Addresses must be word-aligned and mapped; the model treats a
+  // violation as a programming error in the caller (the interpreter raises an
+  // architectural fault *before* calling these).
+  word Read(paddr addr) const;
+  void Write(paddr addr, word value);
+
+  // Bulk helpers used by loaders, page initialisation and hashing.
+  void ReadPage(paddr page_base, word out[kWordsPerPage]) const;
+  void WritePage(paddr page_base, const word in[kWordsPerPage]);
+  void ZeroPage(paddr page_base);
+
+  // Byte-oriented view over one page (for measurement hashing). `bytes_out`
+  // must hold kPageSize bytes; words are serialised little-endian.
+  void ReadPageBytes(paddr page_base, uint8_t* bytes_out) const;
+
+  bool operator==(const PhysMemory&) const = default;
+
+  // Whole-region views for the equivalence relations (fast comparison of all
+  // insecure memory without per-word region lookups).
+  const std::vector<word>& insecure_words() const { return insecure_; }
+  const std::vector<word>& secure_words() const { return secure_; }
+
+ private:
+  const std::vector<word>* BackingFor(paddr addr, size_t* index) const;
+
+  word nsecure_pages_;
+  std::vector<word> insecure_;
+  std::vector<word> monitor_;
+  std::vector<word> secure_;
+};
+
+// True iff the page-aligned physical address `page_base` lies entirely in
+// insecure RAM — i.e. it overlaps neither the monitor image nor the secure
+// page region. This is exactly the check §9.1 reports the unverified
+// prototype got wrong.
+bool IsInsecurePageAddr(const PhysMemory& mem, paddr page_base);
+
+}  // namespace komodo::arm
+
+#endif  // SRC_ARM_MEMORY_H_

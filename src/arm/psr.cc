@@ -1,0 +1,148 @@
+#include "src/arm/psr.h"
+
+namespace komodo::arm {
+
+word ModeEncoding(Mode m) {
+  switch (m) {
+    case Mode::kUser:
+      return 0b10000;
+    case Mode::kFiq:
+      return 0b10001;
+    case Mode::kIrq:
+      return 0b10010;
+    case Mode::kSupervisor:
+      return 0b10011;
+    case Mode::kMonitor:
+      return 0b10110;
+    case Mode::kAbort:
+      return 0b10111;
+    case Mode::kUndefined:
+      return 0b11011;
+  }
+  return 0b10000;
+}
+
+bool DecodeMode(word bits, Mode* out) {
+  switch (bits & 0x1f) {
+    case 0b10000:
+      *out = Mode::kUser;
+      return true;
+    case 0b10001:
+      *out = Mode::kFiq;
+      return true;
+    case 0b10010:
+      *out = Mode::kIrq;
+      return true;
+    case 0b10011:
+      *out = Mode::kSupervisor;
+      return true;
+    case 0b10110:
+      *out = Mode::kMonitor;
+      return true;
+    case 0b10111:
+      *out = Mode::kAbort;
+      return true;
+    case 0b11011:
+      *out = Mode::kUndefined;
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kUser:
+      return "usr";
+    case Mode::kFiq:
+      return "fiq";
+    case Mode::kIrq:
+      return "irq";
+    case Mode::kSupervisor:
+      return "svc";
+    case Mode::kAbort:
+      return "abt";
+    case Mode::kUndefined:
+      return "und";
+    case Mode::kMonitor:
+      return "mon";
+  }
+  return "?";
+}
+
+word Psr::Encode() const {
+  word bits = ModeEncoding(mode);
+  if (n) bits |= 1u << 31;
+  if (z) bits |= 1u << 30;
+  if (c) bits |= 1u << 29;
+  if (v) bits |= 1u << 28;
+  if (irq_masked) bits |= 1u << 7;
+  if (fiq_masked) bits |= 1u << 6;
+  return bits;
+}
+
+Psr Psr::Decode(word bits) {
+  Psr p;
+  p.n = (bits >> 31) & 1;
+  p.z = (bits >> 30) & 1;
+  p.c = (bits >> 29) & 1;
+  p.v = (bits >> 28) & 1;
+  p.irq_masked = (bits >> 7) & 1;
+  p.fiq_masked = (bits >> 6) & 1;
+  Mode m;
+  if (DecodeMode(bits, &m)) {
+    p.mode = m;
+  }
+  return p;
+}
+
+std::string Psr::ToString() const {
+  std::string s;
+  s += n ? 'N' : '-';
+  s += z ? 'Z' : '-';
+  s += c ? 'C' : '-';
+  s += v ? 'V' : '-';
+  s += irq_masked ? 'I' : '-';
+  s += fiq_masked ? 'F' : '-';
+  s += ' ';
+  s += ModeName(mode);
+  return s;
+}
+
+bool CondPasses(Cond cond, const Psr& psr) {
+  switch (cond) {
+    case Cond::kEq:
+      return psr.z;
+    case Cond::kNe:
+      return !psr.z;
+    case Cond::kCs:
+      return psr.c;
+    case Cond::kCc:
+      return !psr.c;
+    case Cond::kMi:
+      return psr.n;
+    case Cond::kPl:
+      return !psr.n;
+    case Cond::kVs:
+      return psr.v;
+    case Cond::kVc:
+      return !psr.v;
+    case Cond::kHi:
+      return psr.c && !psr.z;
+    case Cond::kLs:
+      return !psr.c || psr.z;
+    case Cond::kGe:
+      return psr.n == psr.v;
+    case Cond::kLt:
+      return psr.n != psr.v;
+    case Cond::kGt:
+      return !psr.z && psr.n == psr.v;
+    case Cond::kLe:
+      return psr.z || psr.n != psr.v;
+    case Cond::kAl:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace komodo::arm

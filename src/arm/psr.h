@@ -1,0 +1,80 @@
+// Program status registers (CPSR/SPSR), processor modes and TrustZone worlds.
+//
+// We model the architectural mode encodings of ARMv7-A (DDI 0406C §B1.3) for
+// the seven modes Komodo's machine model covers: user, FIQ, IRQ, supervisor,
+// abort, undefined and (secure-only) monitor. System/Hyp modes are
+// intentionally unmodelled, per the paper's idiomatic-specification approach:
+// a program that tried to enter them is outside the model.
+#ifndef SRC_ARM_PSR_H_
+#define SRC_ARM_PSR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/arm/types.h"
+
+namespace komodo::arm {
+
+enum class Mode : uint8_t {
+  kUser = 0,
+  kFiq,
+  kIrq,
+  kSupervisor,
+  kAbort,
+  kUndefined,
+  kMonitor,
+};
+inline constexpr int kNumModes = 7;
+
+// Architectural 5-bit mode encodings.
+word ModeEncoding(Mode m);
+// Decodes a 5-bit encoding; returns false if it is not one of the seven
+// modelled modes.
+bool DecodeMode(word bits, Mode* out);
+const char* ModeName(Mode m);
+
+enum class World : uint8_t { kSecure = 0, kNormal = 1 };
+
+// Condition flags + mask bits + mode of a program status register. We model
+// exactly the fields Komodo's spec needs: N/Z/C/V, the I (IRQ mask) and
+// F (FIQ mask) bits, and the mode field.
+struct Psr {
+  bool n = false;
+  bool z = false;
+  bool c = false;
+  bool v = false;
+  bool irq_masked = true;   // I bit
+  bool fiq_masked = true;   // F bit
+  Mode mode = Mode::kSupervisor;
+
+  word Encode() const;
+  static Psr Decode(word bits);
+  bool operator==(const Psr&) const = default;
+  std::string ToString() const;
+};
+
+// Condition codes for A32 instructions (DDI 0406C §A8.3).
+enum class Cond : uint8_t {
+  kEq = 0x0,
+  kNe = 0x1,
+  kCs = 0x2,
+  kCc = 0x3,
+  kMi = 0x4,
+  kPl = 0x5,
+  kVs = 0x6,
+  kVc = 0x7,
+  kHi = 0x8,
+  kLs = 0x9,
+  kGe = 0xa,
+  kLt = 0xb,
+  kGt = 0xc,
+  kLe = 0xd,
+  kAl = 0xe,
+};
+
+// Evaluates a condition against the flags in `psr`.
+bool CondPasses(Cond cond, const Psr& psr);
+
+}  // namespace komodo::arm
+
+#endif  // SRC_ARM_PSR_H_

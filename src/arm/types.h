@@ -1,0 +1,72 @@
+// Basic machine types and layout constants for the ARMv7-A + TrustZone model.
+//
+// The physical memory map mirrors Figure 4 of the paper and the Raspberry Pi 2
+// prototype: a region of insecure (normal-world) RAM, the monitor image, and a
+// bootloader-reserved region of secure pages that the monitor hands out to
+// enclaves.
+#ifndef SRC_ARM_TYPES_H_
+#define SRC_ARM_TYPES_H_
+
+#include <cstdint>
+
+namespace komodo::arm {
+
+using word = uint32_t;
+using dword = uint64_t;
+using paddr = uint32_t;  // physical address
+using vaddr = uint32_t;  // virtual address
+
+inline constexpr word kWordSize = 4;
+inline constexpr word kPageSize = 4096;
+inline constexpr word kWordsPerPage = kPageSize / kWordSize;
+
+// --- Physical memory map (see DESIGN.md §4) ---------------------------------
+
+// Insecure, normal-world RAM. The untrusted OS, its page allocator and all
+// insecure (shared) pages live here.
+inline constexpr paddr kInsecureBase = 0x0000'0000;
+inline constexpr word kInsecureSize = 16 * 1024 * 1024;
+
+// Monitor image: code, stack, globals, the in-memory PageDB and thread-context
+// storage. Carved out of secure RAM by the (trusted) bootloader.
+inline constexpr paddr kMonitorBase = 0x4000'0000;
+inline constexpr word kMonitorSize = 1 * 1024 * 1024;
+
+// Secure page region managed by the monitor; size configurable at boot.
+inline constexpr paddr kSecurePagesBase = 0x4010'0000;
+inline constexpr word kMaxSecurePages = 1024;
+inline constexpr word kDefaultSecurePages = 256;
+
+// Secure-world virtual map (Figure 4): enclave VA space is the low 1 GB
+// (translated by TTBR0 with TTBCR.N=2); the monitor owns the high half via a
+// static TTBR1 table, including a direct map of physical memory.
+inline constexpr vaddr kEnclaveVaLimit = 0x4000'0000;  // 1 GB
+inline constexpr vaddr kDirectMapVbase = 0x8000'0000;
+
+// General-purpose register numbers. R13/R14/R15 are SP/LR/PC.
+enum Reg : uint8_t {
+  R0 = 0,
+  R1,
+  R2,
+  R3,
+  R4,
+  R5,
+  R6,
+  R7,
+  R8,
+  R9,
+  R10,
+  R11,
+  R12,
+  SP = 13,
+  LR = 14,
+  PC = 15,
+};
+
+constexpr bool IsWordAligned(word x) { return (x & 3u) == 0; }
+constexpr bool IsPageAligned(word x) { return (x & (kPageSize - 1)) == 0; }
+constexpr word PageBase(word x) { return x & ~(kPageSize - 1); }
+
+}  // namespace komodo::arm
+
+#endif  // SRC_ARM_TYPES_H_

@@ -1,0 +1,60 @@
+#include "src/core/pagedb.h"
+
+namespace komodo {
+
+PageType PageDb::TypeOf(PageNr n) {
+  return static_cast<PageType>(ops_.LoadPhys(EntryAddr(n, 0)));
+}
+
+void PageDb::SetType(PageNr n, PageType t) {
+  ops_.StorePhys(EntryAddr(n, 0), static_cast<word>(t));
+}
+
+PageNr PageDb::OwnerOf(PageNr n) { return ops_.LoadPhys(EntryAddr(n, 1)); }
+
+void PageDb::SetOwner(PageNr n, PageNr addrspace) { ops_.StorePhys(EntryAddr(n, 1), addrspace); }
+
+crypto::DigestWords PageDb::AsMeasurement(PageNr as) {
+  crypto::DigestWords d;
+  for (word i = 0; i < 8; ++i) {
+    d[i] = LoadPageWord(as, kAsMeasurementDigest + i);
+  }
+  return d;
+}
+
+void PageDb::SetAsMeasurement(PageNr as, const crypto::DigestWords& digest) {
+  for (word i = 0; i < 8; ++i) {
+    StorePageWord(as, kAsMeasurementDigest + i, digest[i]);
+  }
+}
+
+crypto::Sha256 PageDb::LoadMeasurementStream(PageNr as) {
+  std::array<uint32_t, crypto::Sha256::kExportWords> words;
+  for (word i = 0; i < crypto::Sha256::kExportWords; ++i) {
+    words[i] = LoadPageWord(as, kAsMeasurementStream + i);
+  }
+  crypto::Sha256 stream;
+  stream.Import(words);
+  return stream;
+}
+
+void PageDb::StoreMeasurementStream(PageNr as, const crypto::Sha256& stream) {
+  const std::array<uint32_t, crypto::Sha256::kExportWords> words = stream.Export();
+  for (word i = 0; i < crypto::Sha256::kExportWords; ++i) {
+    StorePageWord(as, kAsMeasurementStream + i, words[i]);
+  }
+}
+
+crypto::HmacKey PageDb::AttestKey() {
+  crypto::HmacKey key;
+  for (word i = 0; i < 8; ++i) {
+    const word w = ops_.LoadPhys(arm::kMonitorBase + kGlobalAttestKey + i * arm::kWordSize);
+    key[i * 4] = static_cast<uint8_t>(w);
+    key[i * 4 + 1] = static_cast<uint8_t>(w >> 8);
+    key[i * 4 + 2] = static_cast<uint8_t>(w >> 16);
+    key[i * 4 + 3] = static_cast<uint8_t>(w >> 24);
+  }
+  return key;
+}
+
+}  // namespace komodo

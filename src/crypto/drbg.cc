@@ -1,0 +1,71 @@
+#include "src/crypto/drbg.h"
+
+#include <cstring>
+
+namespace komodo::crypto {
+
+HashDrbg::HashDrbg(uint64_t seed) {
+  uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<uint8_t>(seed >> (8 * i));
+  }
+  v_ = Sha256Hash(bytes, sizeof(bytes));
+}
+
+HashDrbg::HashDrbg(const std::vector<uint8_t>& seed_material) {
+  v_ = Sha256Hash(seed_material);
+}
+
+void HashDrbg::Reseed() {
+  Sha256 h;
+  h.Update(v_.data(), v_.size());
+  uint8_t ctr[8];
+  for (int i = 0; i < 8; ++i) {
+    ctr[i] = static_cast<uint8_t>(counter_ >> (8 * i));
+  }
+  h.Update(ctr, sizeof(ctr));
+  block_ = h.Finalize();
+  ++counter_;
+  block_used_ = 0;
+}
+
+void HashDrbg::Fill(uint8_t* out, size_t len) {
+  while (len > 0) {
+    if (block_used_ == kSha256DigestBytes) {
+      Reseed();
+    }
+    const size_t take = std::min(len, kSha256DigestBytes - block_used_);
+    std::memcpy(out, block_.data() + block_used_, take);
+    block_used_ += take;
+    out += take;
+    len -= take;
+  }
+}
+
+uint32_t HashDrbg::NextWord() {
+  uint8_t bytes[4];
+  Fill(bytes, sizeof(bytes));
+  return static_cast<uint32_t>(bytes[0]) | (static_cast<uint32_t>(bytes[1]) << 8) |
+         (static_cast<uint32_t>(bytes[2]) << 16) | (static_cast<uint32_t>(bytes[3]) << 24);
+}
+
+uint64_t HashDrbg::NextU64() {
+  return static_cast<uint64_t>(NextWord()) | (static_cast<uint64_t>(NextWord()) << 32);
+}
+
+std::vector<uint8_t> HashDrbg::Bytes(size_t len) {
+  std::vector<uint8_t> out(len);
+  Fill(out.data(), len);
+  return out;
+}
+
+uint32_t HashDrbg::Below(uint32_t bound) {
+  const uint32_t limit = 0xffff'ffffu - (0xffff'ffffu % bound) - 1;
+  uint32_t x;
+  do {
+    x = NextWord();
+  } while (x > limit);
+  return x % bound;
+}
+
+}  // namespace komodo::crypto

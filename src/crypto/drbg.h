@@ -1,0 +1,41 @@
+// Deterministic random bit generator (Hash_DRBG-style over SHA-256).
+//
+// Models the paper's hardware requirement of a cryptographically secure
+// randomness source (§3.2): on the Raspberry Pi 2 this was the SoC RNG; here
+// the "hardware entropy" is a seed supplied by the simulated bootloader, so
+// every run — and thus every test and benchmark — is reproducible.
+#ifndef SRC_CRYPTO_DRBG_H_
+#define SRC_CRYPTO_DRBG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+
+namespace komodo::crypto {
+
+class HashDrbg {
+ public:
+  explicit HashDrbg(uint64_t seed);
+  explicit HashDrbg(const std::vector<uint8_t>& seed_material);
+
+  uint32_t NextWord();
+  uint64_t NextU64();
+  void Fill(uint8_t* out, size_t len);
+  std::vector<uint8_t> Bytes(size_t len);
+
+  // Uniform value in [0, bound) by rejection sampling; bound must be nonzero.
+  uint32_t Below(uint32_t bound);
+
+ private:
+  void Reseed();
+
+  Digest v_{};
+  uint64_t counter_ = 0;
+  Digest block_{};
+  size_t block_used_ = kSha256DigestBytes;  // force generation on first use
+};
+
+}  // namespace komodo::crypto
+
+#endif  // SRC_CRYPTO_DRBG_H_

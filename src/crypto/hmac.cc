@@ -1,0 +1,48 @@
+#include "src/crypto/hmac.h"
+
+namespace komodo::crypto {
+
+namespace {
+
+void StartInner(Sha256* inner, const HmacKey& key) {
+  uint8_t ipad[kSha256BlockBytes];
+  for (size_t i = 0; i < kSha256BlockBytes; ++i) {
+    ipad[i] = (i < kHmacKeyBytes) ? static_cast<uint8_t>(key[i] ^ 0x36) : 0x36;
+  }
+  inner->Reset();
+  inner->Update(ipad, sizeof(ipad));
+}
+
+Digest FinishOuter(const HmacKey& key, const Digest& inner_digest) {
+  uint8_t opad[kSha256BlockBytes];
+  for (size_t i = 0; i < kSha256BlockBytes; ++i) {
+    opad[i] = (i < kHmacKeyBytes) ? static_cast<uint8_t>(key[i] ^ 0x5c) : 0x5c;
+  }
+  Sha256 outer;
+  outer.Update(opad, sizeof(opad));
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finalize();
+}
+
+}  // namespace
+
+Digest HmacSha256(const HmacKey& key, const uint8_t* data, size_t len) {
+  Sha256 inner;
+  StartInner(&inner, key);
+  inner.Update(data, len);
+  return FinishOuter(key, inner.Finalize());
+}
+
+Digest HmacSha256(const HmacKey& key, const std::vector<uint8_t>& data) {
+  return HmacSha256(key, data.data(), data.size());
+}
+
+HmacSha256Stream::HmacSha256Stream(const HmacKey& key) : key_(key) {
+  StartInner(&inner_, key_);
+}
+
+void HmacSha256Stream::Update(const uint8_t* data, size_t len) { inner_.Update(data, len); }
+
+Digest HmacSha256Stream::Finalize() { return FinishOuter(key_, inner_.Finalize()); }
+
+}  // namespace komodo::crypto

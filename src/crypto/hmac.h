@@ -1,0 +1,37 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1): the attestation MAC of §4. Also used
+// to derive the monitor's boot-time attestation key.
+#ifndef SRC_CRYPTO_HMAC_H_
+#define SRC_CRYPTO_HMAC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+
+namespace komodo::crypto {
+
+inline constexpr size_t kHmacKeyBytes = 32;
+using HmacKey = std::array<uint8_t, kHmacKeyBytes>;
+
+Digest HmacSha256(const HmacKey& key, const uint8_t* data, size_t len);
+Digest HmacSha256(const HmacKey& key, const std::vector<uint8_t>& data);
+
+// Incremental form for the monitor's block-aligned MAC computation.
+class HmacSha256Stream {
+ public:
+  explicit HmacSha256Stream(const HmacKey& key);
+  void Update(const uint8_t* data, size_t len);
+  void UpdateWordLe(uint32_t w) { inner_.UpdateWordLe(w); }
+  Digest Finalize();
+
+  uint64_t total_bytes() const { return inner_.total_bytes(); }
+
+ private:
+  HmacKey key_;
+  Sha256 inner_;
+};
+
+}  // namespace komodo::crypto
+
+#endif  // SRC_CRYPTO_HMAC_H_

@@ -1,0 +1,209 @@
+#include "src/crypto/sha256.h"
+
+#include <cstring>
+
+namespace komodo::crypto {
+
+namespace {
+
+constexpr uint32_t kInitState[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                                    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+constexpr uint32_t kRoundConstants[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2};
+
+inline uint32_t Rotr(uint32_t x, unsigned n) { return (x >> n) | (x << (32 - n)); }
+inline uint32_t Ch(uint32_t x, uint32_t y, uint32_t z) { return (x & y) ^ (~x & z); }
+inline uint32_t Maj(uint32_t x, uint32_t y, uint32_t z) { return (x & y) ^ (x & z) ^ (y & z); }
+inline uint32_t BigSigma0(uint32_t x) { return Rotr(x, 2) ^ Rotr(x, 13) ^ Rotr(x, 22); }
+inline uint32_t BigSigma1(uint32_t x) { return Rotr(x, 6) ^ Rotr(x, 11) ^ Rotr(x, 25); }
+inline uint32_t SmallSigma0(uint32_t x) { return Rotr(x, 7) ^ Rotr(x, 18) ^ (x >> 3); }
+inline uint32_t SmallSigma1(uint32_t x) { return Rotr(x, 17) ^ Rotr(x, 19) ^ (x >> 10); }
+
+}  // namespace
+
+void Sha256::Reset() {
+  std::memcpy(state_.data(), kInitState, sizeof(kInitState));
+  // Zeroed so Export() is a pure function of the absorbed input (the
+  // refinement tests compare serialised streams bit-for-bit).
+  std::memset(buffer_, 0, sizeof(buffer_));
+  buffer_len_ = 0;
+  total_len_ = 0;
+}
+
+void Sha256::Compress(const uint8_t block[kSha256BlockBytes]) {
+  uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) | block[i * 4 + 3];
+  }
+  for (int i = 16; i < 64; ++i) {
+    w[i] = SmallSigma1(w[i - 2]) + w[i - 7] + SmallSigma0(w[i - 15]) + w[i - 16];
+  }
+
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int i = 0; i < 64; ++i) {
+    const uint32_t t1 = h + BigSigma1(e) + Ch(e, f, g) + kRoundConstants[i] + w[i];
+    const uint32_t t2 = BigSigma0(a) + Maj(a, b, c);
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::Update(const uint8_t* data, size_t len) {
+  total_len_ += len;
+  while (len > 0) {
+    const size_t take = std::min(len, kSha256BlockBytes - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, data, take);
+    buffer_len_ += take;
+    data += take;
+    len -= take;
+    if (buffer_len_ == kSha256BlockBytes) {
+      Compress(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+}
+
+void Sha256::UpdateWordLe(uint32_t w) {
+  const uint8_t bytes[4] = {static_cast<uint8_t>(w), static_cast<uint8_t>(w >> 8),
+                            static_cast<uint8_t>(w >> 16), static_cast<uint8_t>(w >> 24)};
+  Update(bytes, 4);
+}
+
+Digest Sha256::Finalize() {
+  const uint64_t bit_len = total_len_ * 8;
+  const uint8_t pad = 0x80;
+  Update(&pad, 1);
+  const uint8_t zero = 0;
+  while (buffer_len_ != 56) {
+    Update(&zero, 1);
+  }
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  Update(len_bytes, 8);
+
+  Digest out;
+  for (int i = 0; i < 8; ++i) {
+    out[i * 4] = static_cast<uint8_t>(state_[i] >> 24);
+    out[i * 4 + 1] = static_cast<uint8_t>(state_[i] >> 16);
+    out[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 8);
+    out[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+std::array<uint32_t, Sha256::kExportWords> Sha256::Export() const {
+  std::array<uint32_t, kExportWords> out{};
+  for (int i = 0; i < 8; ++i) {
+    out[i] = state_[i];
+  }
+  for (int i = 0; i < 16; ++i) {
+    out[8 + i] = (static_cast<uint32_t>(buffer_[i * 4])) |
+                 (static_cast<uint32_t>(buffer_[i * 4 + 1]) << 8) |
+                 (static_cast<uint32_t>(buffer_[i * 4 + 2]) << 16) |
+                 (static_cast<uint32_t>(buffer_[i * 4 + 3]) << 24);
+  }
+  out[24] = static_cast<uint32_t>(buffer_len_);
+  out[25] = static_cast<uint32_t>(total_len_);
+  out[26] = static_cast<uint32_t>(total_len_ >> 32);
+  return out;
+}
+
+void Sha256::Import(const std::array<uint32_t, kExportWords>& words) {
+  for (int i = 0; i < 8; ++i) {
+    state_[i] = words[i];
+  }
+  for (int i = 0; i < 16; ++i) {
+    buffer_[i * 4] = static_cast<uint8_t>(words[8 + i]);
+    buffer_[i * 4 + 1] = static_cast<uint8_t>(words[8 + i] >> 8);
+    buffer_[i * 4 + 2] = static_cast<uint8_t>(words[8 + i] >> 16);
+    buffer_[i * 4 + 3] = static_cast<uint8_t>(words[8 + i] >> 24);
+  }
+  buffer_len_ = words[24];
+  total_len_ = static_cast<uint64_t>(words[25]) | (static_cast<uint64_t>(words[26]) << 32);
+}
+
+DigestWords Sha256::StateWords() const {
+  DigestWords w;
+  for (int i = 0; i < 8; ++i) {
+    w[i] = state_[i];
+  }
+  return w;
+}
+
+Digest Sha256Hash(const uint8_t* data, size_t len) {
+  Sha256 h;
+  h.Update(data, len);
+  return h.Finalize();
+}
+
+Digest Sha256Hash(const std::vector<uint8_t>& data) { return Sha256Hash(data.data(), data.size()); }
+
+DigestWords DigestToWords(const Digest& d) {
+  DigestWords w;
+  for (int i = 0; i < 8; ++i) {
+    w[i] = (static_cast<uint32_t>(d[i * 4]) << 24) | (static_cast<uint32_t>(d[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(d[i * 4 + 2]) << 8) | d[i * 4 + 3];
+  }
+  return w;
+}
+
+Digest WordsToDigest(const DigestWords& w) {
+  Digest d;
+  for (int i = 0; i < 8; ++i) {
+    d[i * 4] = static_cast<uint8_t>(w[i] >> 24);
+    d[i * 4 + 1] = static_cast<uint8_t>(w[i] >> 16);
+    d[i * 4 + 2] = static_cast<uint8_t>(w[i] >> 8);
+    d[i * 4 + 3] = static_cast<uint8_t>(w[i]);
+  }
+  return d;
+}
+
+std::string DigestToHex(const Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string s;
+  s.reserve(kSha256DigestBytes * 2);
+  for (uint8_t b : d) {
+    s += kHex[b >> 4];
+    s += kHex[b & 0xf];
+  }
+  return s;
+}
+
+bool ConstantTimeEqual(const uint8_t* a, const uint8_t* b, size_t len) {
+  uint8_t acc = 0;
+  for (size_t i = 0; i < len; ++i) {
+    acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+}  // namespace komodo::crypto

@@ -1,0 +1,61 @@
+// Sample enclave programs written in the modelled A32 subset. These execute
+// for real on the interpreter, through the enclave's own page tables, and
+// exercise the SVC API end to end. Used by integration tests and examples.
+#ifndef SRC_ENCLAVE_PROGRAMS_H_
+#define SRC_ENCLAVE_PROGRAMS_H_
+
+#include <vector>
+
+#include "src/arm/types.h"
+
+namespace komodo::enclave {
+
+using arm::word;
+
+// Exit(arg1 + arg2): the "hello world" of enclaves.
+std::vector<word> AddTwoProgram();
+
+// Reads shared[0], computes x*2+1, writes it to shared[1] and Exit(x).
+std::vector<word> EchoSharedProgram();
+
+// Each entry: counter (kept in the private data page) += arg1; Exit(counter).
+// Demonstrates secure-page persistence across entries.
+std::vector<word> CounterProgram();
+
+// Busy-loops forever (for interrupt/Resume testing). If arg1 != 0, it first
+// stores arg1 to data[0] so a resumed run can prove context was preserved.
+std::vector<word> SpinProgram();
+
+// Writes 8 words of "user data" (derived from arg1) into its data page,
+// issues the Attest SVC, copies the resulting MAC to the shared page
+// (words 0..7), then Exit(0). The OS-side test passes the MAC to a second
+// enclave for Verify.
+std::vector<word> AttestProgram();
+
+// Verifies an attestation: data[8], measurement[8] and mac[8] are staged by
+// the OS in the shared page (words 0..23); the enclave copies them into its
+// private data page, issues Verify, and Exit(ok).
+std::vector<word> VerifyProgram();
+
+// Dynamic memory: expects the OS to have allocated a spare page (page number
+// in arg1). Issues the MapData SVC to map it at 0x30000, writes/reads a
+// pattern, issues UnmapData, and Exit(0 on success, step number on failure).
+std::vector<word> DynMemProgram();
+
+// GetRandom: fills shared[0..3] with 4 random words from the monitor and
+// Exit(0).
+std::vector<word> RandomProgram();
+
+// Reads its secret from data[0] and writes it straight into the shared
+// insecure page — an enclave that *chooses* to declassify (§6's caveat that
+// Komodo does not police what enclaves do with their own secrets).
+std::vector<word> LeakSecretProgram();
+
+// Faulting programs for exception-path tests.
+std::vector<word> ReadOutsideProgram();   // loads from an unmapped VA
+std::vector<word> WriteCodeProgram();     // stores to its own (read-only) code page
+std::vector<word> UndefinedInsnProgram(); // executes a permanently-undefined encoding
+
+}  // namespace komodo::enclave
+
+#endif  // SRC_ENCLAVE_PROGRAMS_H_

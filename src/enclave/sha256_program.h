@@ -1,0 +1,42 @@
+// SHA-256 as enclave code in the modelled A32 subset.
+//
+// The paper's monitor carries a Vale-verified ARM SHA-256 (§7.2, inherited
+// from Bond et al. [12]); this is the enclave-side analogue: a complete
+// FIPS 180-4 compression pipeline written with the assembler DSL, executed
+// instruction-by-instruction by the interpreter through the enclave's page
+// tables. Like the monitor's implementation, it requires block-aligned input
+// (§7.2's simplification) — the untrusted driver performs the padding.
+//
+// Protocol: the OS stages big-endian-converted message words at
+// kEnclaveSharedVa (up to kSha256ProgramMaxBlocks 64-byte blocks) and calls
+// Enter(thread, nblocks). The enclave hashes and writes the 8 digest words to
+// kEnclaveSharedVa + kSha256ProgramDigestOffset, then exits with 0.
+#ifndef SRC_ENCLAVE_SHA256_PROGRAM_H_
+#define SRC_ENCLAVE_SHA256_PROGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/arm/types.h"
+#include "src/os/os.h"
+
+namespace komodo::enclave {
+
+inline constexpr word kSha256ProgramDigestOffset = 0xe00;
+inline constexpr word kSha256ProgramMaxBlocks = kSha256ProgramDigestOffset / 64;  // 56
+
+// The program text (fits one code page).
+std::vector<word> Sha256Program();
+
+// Untrusted driver half: pads `message` per FIPS 180-4, stages it into the
+// shared page as big-endian words, and returns the block count to pass to
+// Enter. Message must fit: len <= kSha256ProgramMaxBlocks*64 - 9.
+word StageSha256Message(os::Os& os, word shared_pg, const std::vector<uint8_t>& message);
+
+// Reads the digest the enclave produced from the shared page.
+std::array<uint8_t, 32> ReadSha256Digest(os::Os& os, word shared_pg);
+
+}  // namespace komodo::enclave
+
+#endif  // SRC_ENCLAVE_SHA256_PROGRAM_H_

@@ -1,0 +1,101 @@
+#include "src/enclave/signing_enclave.h"
+
+#include "src/enclave/notary.h"  // NotaryCosts: the same RSA cycle model
+#include "src/os/os.h"
+
+namespace komodo::enclave {
+
+namespace {
+const NotaryCosts kCosts{};
+}
+
+UserAction SigningEnclave::Run(UserContext& ctx) {
+  if (awaiting_verify_) {
+    return FinishSign(ctx);
+  }
+  switch (ctx.Reg(0)) {
+    case kSignerCmdInit:
+      return HandleInit(ctx);
+    case kSignerCmdSign:
+      return HandleSign(ctx);
+    default:
+      return UserAction::Exit(0);
+  }
+}
+
+UserAction SigningEnclave::HandleInit(UserContext& ctx) {
+  if (!key_ready_) {
+    key_ = crypto::RsaGenerateKey(&drbg_, 1024);
+    key_ready_ = true;
+    ctx.ChargeCycles(kCosts.rsa_keygen_cycles);
+  }
+  const std::vector<uint8_t> modulus = key_.pub.n.ToBytesBe(128);
+  if (!ctx.WriteBytes(os::kEnclaveSharedVa + kSignerPubkeyOffset, modulus.data(),
+                      modulus.size())) {
+    return UserAction::Fault();
+  }
+  return UserAction::Exit(1);
+}
+
+UserAction SigningEnclave::HandleSign(UserContext& ctx) {
+  if (!key_ready_) {
+    return UserAction::Exit(0);
+  }
+  // Copy the claimed attestation into enclave-private memory first —
+  // verifying data the OS can still mutate would be a TOCTOU hole.
+  for (word i = 0; i < 24; ++i) {
+    word value;
+    if (!ctx.Read(os::kEnclaveSharedVa + kSignerInputOffset + i * 4, &value)) {
+      return UserAction::Fault();
+    }
+    staged_[i] = value;
+    if (!ctx.Write(os::kEnclaveDataVa + i * 4, value)) {
+      return UserAction::Fault();
+    }
+  }
+  awaiting_verify_ = true;
+  // Verify(data, measure, mac) against the private copy.
+  return UserAction::Svc(kSvcVerify, os::kEnclaveDataVa, os::kEnclaveDataVa + 32,
+                         os::kEnclaveDataVa + 64);
+}
+
+UserAction SigningEnclave::FinishSign(UserContext& ctx) {
+  awaiting_verify_ = false;
+  const word err = ctx.Reg(0);
+  const word genuine = ctx.Reg(1);
+  if (err != kErrSuccess || genuine != 1) {
+    return UserAction::Exit(0);  // refuse to sign a forged local attestation
+  }
+  std::array<word, 8> data;
+  std::array<word, 8> measure;
+  for (word i = 0; i < 8; ++i) {
+    data[i] = staged_[i];
+    measure[i] = staged_[8 + i];
+  }
+  const std::vector<uint8_t> message = SignedMessage(measure, data);
+  const std::vector<uint8_t> sig =
+      crypto::RsaSignSha256(key_, message.data(), message.size());
+  ctx.ChargeCycles(kCosts.rsa_sign_cycles +
+                   kCosts.sha_cycles_per_byte * message.size());
+  if (!ctx.WriteBytes(os::kEnclaveSharedVa + kSignerSigOffset, sig.data(), sig.size())) {
+    return UserAction::Fault();
+  }
+  return UserAction::Exit(1);
+}
+
+std::vector<uint8_t> SigningEnclave::SignedMessage(const std::array<word, 8>& measure,
+                                                   const std::array<word, 8>& data) {
+  std::vector<uint8_t> message;
+  message.reserve(64);
+  for (const auto& block : {measure, data}) {
+    for (word value : block) {
+      message.push_back(static_cast<uint8_t>(value));
+      message.push_back(static_cast<uint8_t>(value >> 8));
+      message.push_back(static_cast<uint8_t>(value >> 16));
+      message.push_back(static_cast<uint8_t>(value >> 24));
+    }
+  }
+  return message;
+}
+
+}  // namespace komodo::enclave

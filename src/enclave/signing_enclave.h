@@ -1,0 +1,62 @@
+// The trusted signing enclave that §4 defers: Komodo implements *local*
+// attestation in the monitor and "defers remote attestation to a trusted
+// enclave (that we have yet to implement)". This is that enclave.
+//
+// Protocol: at Init it generates an RSA key pair and publishes the public
+// modulus; a deployment would bind that key to the signing enclave's
+// measurement through a provisioning step (played in the examples/tests by
+// the "device manufacturer" endorsing the key). At Sign it takes a local
+// attestation (data, measurement, MAC) produced by any enclave on the same
+// machine, checks it with the monitor's Verify SVC — only the monitor knows
+// the MAC key — and, if genuine, signs (measurement || data) with its RSA
+// key. The result convinces a *remote* verifier who trusts only the endorsed
+// public key.
+#ifndef SRC_ENCLAVE_SIGNING_ENCLAVE_H_
+#define SRC_ENCLAVE_SIGNING_ENCLAVE_H_
+
+#include <vector>
+
+#include "src/crypto/rsa.h"
+#include "src/enclave/native_runtime.h"
+
+namespace komodo::enclave {
+
+// Commands (Enter arg1).
+inline constexpr word kSignerCmdInit = 0;  // keygen; pubkey -> shared+0x200; Exit(1)
+inline constexpr word kSignerCmdSign = 1;  // verify local attestation; sig -> shared+0x400
+                                           // Exit(1) on success, Exit(0) if the MAC is bogus
+
+// Shared-page layout (byte offsets from kEnclaveSharedVa).
+inline constexpr word kSignerInputOffset = 0x000;   // data[8] | measure[8] | mac[8]
+inline constexpr word kSignerPubkeyOffset = 0x200;  // RSA modulus, big-endian, 128 B
+inline constexpr word kSignerSigOffset = 0x400;     // signature, 128 B
+
+// Cycle model: RSA-1024 keygen/sign as in the notary (see notary.h).
+class SigningEnclave : public NativeProgram {
+ public:
+  explicit SigningEnclave(uint64_t key_seed) : drbg_(key_seed) {}
+
+  UserAction Run(UserContext& ctx) override;
+
+  const crypto::RsaPublicKey& public_key() const { return key_.pub; }
+
+  // What a conforming remote verifier checks: RSA-PKCS#1-v1.5 over
+  // (measurement || data), both as little-endian word serialisations.
+  static std::vector<uint8_t> SignedMessage(const std::array<word, 8>& measure,
+                                            const std::array<word, 8>& data);
+
+ private:
+  UserAction HandleInit(UserContext& ctx);
+  UserAction HandleSign(UserContext& ctx);
+  UserAction FinishSign(UserContext& ctx);
+
+  crypto::HashDrbg drbg_;
+  crypto::RsaKeyPair key_;
+  bool key_ready_ = false;
+  bool awaiting_verify_ = false;
+  std::array<word, 24> staged_{};  // enclave-private copy of the input
+};
+
+}  // namespace komodo::enclave
+
+#endif  // SRC_ENCLAVE_SIGNING_ENCLAVE_H_

@@ -1,0 +1,106 @@
+#include "src/os/adversary.h"
+
+namespace komodo::os {
+
+std::string AdvAction::ToString() const {
+  std::string s = "smc(" + std::to_string(call);
+  for (word a : args) {
+    s += ", " + std::to_string(a);
+  }
+  return s + ")";
+}
+
+word Adversary::RandomPageArg() {
+  switch (drbg_.Below(8)) {
+    case 0:
+      return drbg_.Below(4);  // very likely allocated early
+    case 1:
+    case 2:
+    case 3:
+      return drbg_.Below(16);  // the adversary's working set
+    case 4:
+    case 5:
+      return drbg_.Below(os_.machine().mem.nsecure_pages());
+    case 6:
+      return os_.machine().mem.nsecure_pages();  // one past the end
+    default:
+      return drbg_.NextWord();  // wild
+  }
+}
+
+word Adversary::RandomMapping() {
+  // Mostly well-formed mappings in the low 8 MB; sometimes garbage.
+  if (drbg_.Below(8) == 0) {
+    return drbg_.NextWord();
+  }
+  const vaddr va = (drbg_.Below(2048)) * arm::kPageSize;
+  const word perms = kMapR | (drbg_.Below(2) ? kMapW : 0) | (drbg_.Below(4) == 0 ? kMapX : 0);
+  return MakeMapping(va, perms);
+}
+
+AdvAction Adversary::NextAction() {
+  static constexpr word kCalls[] = {
+      kSmcGetPhysPages, kSmcInitAddrspace, kSmcInitThread, kSmcInitL2Table, kSmcMapSecure,
+      kSmcAllocSpare,   kSmcMapInsecure,   kSmcRemove,     kSmcFinalise,    kSmcStop,
+  };
+  AdvAction action{};
+  action.call = kCalls[drbg_.Below(sizeof(kCalls) / sizeof(kCalls[0]))];
+  switch (action.call) {
+    case kSmcInitAddrspace:
+      action.args[0] = RandomPageArg();
+      // Frequently alias the two arguments — the §9.1 bug shape.
+      action.args[1] = drbg_.Below(4) == 0 ? action.args[0] : RandomPageArg();
+      break;
+    case kSmcInitThread:
+      action.args[0] = RandomPageArg();
+      action.args[1] = RandomPageArg();
+      action.args[2] = drbg_.NextWord();
+      break;
+    case kSmcInitL2Table:
+      action.args[0] = RandomPageArg();
+      action.args[1] = RandomPageArg();
+      action.args[2] = drbg_.Below(300);  // mostly valid l1 indices
+      break;
+    case kSmcMapSecure:
+      action.args[0] = RandomPageArg();
+      action.args[1] = RandomPageArg();
+      action.args[2] = RandomMapping();
+      // Insecure page number: usually a real insecure page, sometimes the
+      // monitor image or secure region (must be rejected).
+      switch (drbg_.Below(4)) {
+        case 0:
+          action.args[3] = arm::kMonitorBase / arm::kPageSize + drbg_.Below(16);
+          break;
+        case 1:
+          action.args[3] = arm::kSecurePagesBase / arm::kPageSize + drbg_.Below(16);
+          break;
+        default:
+          action.args[3] = 32 + drbg_.Below(16);
+          break;
+      }
+      break;
+    case kSmcAllocSpare:
+      action.args[0] = RandomPageArg();
+      action.args[1] = RandomPageArg();
+      break;
+    case kSmcMapInsecure:
+      action.args[0] = RandomPageArg();
+      action.args[1] = RandomMapping();
+      action.args[2] = 32 + drbg_.Below(16);
+      break;
+    case kSmcRemove:
+    case kSmcFinalise:
+    case kSmcStop:
+      action.args[0] = RandomPageArg();
+      break;
+    default:
+      break;
+  }
+  return action;
+}
+
+SmcRet Adversary::Execute(Os& os, const AdvAction& action) {
+  return os.Smc(action.call, action.args[0], action.args[1], action.args[2], action.args[3]);
+}
+
+}  // namespace komodo::os

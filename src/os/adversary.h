@@ -1,0 +1,55 @@
+// Randomized adversarial OS: issues SMC sequences with arguments biased
+// toward the interesting boundary cases (valid-looking pages, aliased
+// arguments, pages owned by other enclaves). Used by the property tests for
+// PageDB invariants, refinement and noninterference, and by the fuzz-style
+// integration tests.
+#ifndef SRC_OS_ADVERSARY_H_
+#define SRC_OS_ADVERSARY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/crypto/drbg.h"
+#include "src/os/os.h"
+
+namespace komodo::os {
+
+// One adversarial action (an SMC with concrete arguments), recorded so that
+// paired noninterference executions can replay the identical trace.
+struct AdvAction {
+  word call;
+  word args[4];
+  std::string ToString() const;
+};
+
+class Adversary {
+ public:
+  Adversary(Os& os, uint64_t seed) : os_(os), drbg_(seed) {}
+
+  // Generates the next action. Arguments are drawn from a mix of: small page
+  // numbers (likely allocated), random valid page numbers, out-of-range
+  // numbers, and previously used values — so traces exercise both success and
+  // every validation failure.
+  AdvAction NextAction();
+
+  // Executes an action (replayable across machines).
+  static SmcRet Execute(Os& os, const AdvAction& action);
+
+  // Convenience: generate-and-execute, returning the action taken.
+  AdvAction Step() {
+    const AdvAction a = NextAction();
+    Execute(os_, a);
+    return a;
+  }
+
+ private:
+  word RandomPageArg();
+  word RandomMapping();
+
+  Os& os_;
+  crypto::HashDrbg drbg_;
+};
+
+}  // namespace komodo::os
+
+#endif  // SRC_OS_ADVERSARY_H_

@@ -1,0 +1,167 @@
+#include "src/os/os.h"
+
+#include <cassert>
+
+namespace komodo::os {
+
+using arm::Mode;
+
+Os::Os(arm::MachineState& m, Monitor& monitor)
+    : machine_(m), monitor_(monitor), next_insecure_page_(16) {
+  // Free-list is kept so pages are handed out in ascending order (the
+  // monitor doesn't care; tests like stable numbering).
+  const word npages = m.mem.nsecure_pages();
+  for (PageNr n = 0; n < npages; ++n) {
+    free_secure_.push_back(npages - 1 - n);
+  }
+}
+
+SmcRet Os::Smc(word call, word a1, word a2, word a3, word a4) {
+  assert(machine_.cpsr.mode != Mode::kUser && machine_.CurrentWorld() == arm::World::kNormal);
+  machine_.r[0] = call;
+  machine_.r[1] = a1;
+  machine_.r[2] = a2;
+  machine_.r[3] = a3;
+  machine_.r[4] = a4;
+  const word return_pc = machine_.pc + 4;
+  machine_.cycles.Charge(arm::kCortexA7Costs.svc_smc_issue);
+  machine_.TakeException(arm::Exception::kSmc, return_pc);
+  monitor_.OnSmc();
+  // The monitor has returned to normal world.
+  assert(machine_.CurrentWorld() == arm::World::kNormal);
+  return {machine_.r[0], machine_.r[1]};
+}
+
+word Os::GetPhysPages() { return Smc(kSmcGetPhysPages).val; }
+
+SmcRet Os::InitAddrspace(PageNr as_page, PageNr l1pt_page) {
+  return Smc(kSmcInitAddrspace, as_page, l1pt_page);
+}
+SmcRet Os::InitThread(PageNr as_page, PageNr thread_page, word entrypoint) {
+  return Smc(kSmcInitThread, as_page, thread_page, entrypoint);
+}
+SmcRet Os::InitL2Table(PageNr as_page, PageNr l2pt_page, word l1index) {
+  return Smc(kSmcInitL2Table, as_page, l2pt_page, l1index);
+}
+SmcRet Os::MapSecure(PageNr as_page, PageNr data_page, word mapping, word insecure_pgnr) {
+  return Smc(kSmcMapSecure, as_page, data_page, mapping, insecure_pgnr);
+}
+SmcRet Os::AllocSpare(PageNr as_page, PageNr spare_page) {
+  return Smc(kSmcAllocSpare, as_page, spare_page);
+}
+SmcRet Os::MapInsecure(PageNr as_page, word mapping, word insecure_pgnr) {
+  return Smc(kSmcMapInsecure, as_page, mapping, insecure_pgnr);
+}
+SmcRet Os::Remove(PageNr page) { return Smc(kSmcRemove, page); }
+SmcRet Os::Finalise(PageNr as_page) { return Smc(kSmcFinalise, as_page); }
+SmcRet Os::Enter(PageNr thread_page, word arg1, word arg2, word arg3) {
+  return Smc(kSmcEnter, thread_page, arg1, arg2, arg3);
+}
+SmcRet Os::Resume(PageNr thread_page) { return Smc(kSmcResume, thread_page); }
+SmcRet Os::Stop(PageNr as_page) { return Smc(kSmcStop, as_page); }
+
+PageNr Os::AllocSecurePage() {
+  if (free_secure_.empty()) {
+    // Out of pages: hand back an out-of-range number. The OS is untrusted —
+    // the monitor rejects it with kErrInvalidPageNo, which is exactly how a
+    // buggy or hostile kernel driver would fail.
+    return machine_.mem.nsecure_pages();
+  }
+  const PageNr n = free_secure_.back();
+  free_secure_.pop_back();
+  return n;
+}
+
+word Os::AllocInsecurePage() {
+  const word pgnr = next_insecure_page_++;
+  assert(pgnr * arm::kPageSize < arm::kInsecureSize);
+  return pgnr;
+}
+
+void Os::WriteInsecure(word pgnr, word word_offset, word value) {
+  machine_.mem.Write(pgnr * arm::kPageSize + word_offset * arm::kWordSize, value);
+}
+
+word Os::ReadInsecure(word pgnr, word word_offset) const {
+  return machine_.mem.Read(pgnr * arm::kPageSize + word_offset * arm::kWordSize);
+}
+
+void Os::WriteInsecurePage(word pgnr, const std::vector<word>& words) {
+  assert(words.size() <= arm::kWordsPerPage);
+  for (word i = 0; i < arm::kWordsPerPage; ++i) {
+    WriteInsecure(pgnr, i, i < words.size() ? words[i] : 0);
+  }
+}
+
+word Os::BuildEnclave(const std::vector<word>& code, BuildOptions* options, EnclaveHandle* out) {
+  assert(code.size() <= arm::kWordsPerPage);
+  EnclaveHandle enclave;
+  enclave.addrspace = AllocSecurePage();
+  enclave.l1pt = AllocSecurePage();
+  if (const SmcRet r = InitAddrspace(enclave.addrspace, enclave.l1pt); r.err != kErrSuccess) {
+    return r.err;
+  }
+  // One L2 table covers the low 4 MB (code/data/stack); the shared page at
+  // 1 MB < 4 MB also fits in it.
+  const PageNr l2 = AllocSecurePage();
+  if (const SmcRet r = InitL2Table(enclave.addrspace, l2, 0); r.err != kErrSuccess) {
+    return r.err;
+  }
+  enclave.l2pts.push_back(l2);
+
+  // Stage and map the code page (read+execute).
+  const word code_staging = AllocInsecurePage();
+  WriteInsecurePage(code_staging, code);
+  PageNr page = AllocSecurePage();
+  if (const SmcRet r = MapSecure(enclave.addrspace, page,
+                                 MakeMapping(kEnclaveCodeVa, kMapR | kMapX), code_staging);
+      r.err != kErrSuccess) {
+    return r.err;
+  }
+  enclave.data_pages.push_back(page);
+
+  // Data page (read+write), with caller-supplied initial contents.
+  const word data_staging = AllocInsecurePage();
+  WriteInsecurePage(data_staging, options != nullptr ? options->data_init : std::vector<word>{});
+  page = AllocSecurePage();
+  if (const SmcRet r = MapSecure(enclave.addrspace, page,
+                                 MakeMapping(kEnclaveDataVa, kMapR | kMapW), data_staging);
+      r.err != kErrSuccess) {
+    return r.err;
+  }
+  enclave.data_pages.push_back(page);
+
+  // Stack page (read+write, zeroed).
+  const word stack_staging = AllocInsecurePage();
+  WriteInsecurePage(stack_staging, {});
+  page = AllocSecurePage();
+  if (const SmcRet r = MapSecure(enclave.addrspace, page,
+                                 MakeMapping(kEnclaveStackVa, kMapR | kMapW), stack_staging);
+      r.err != kErrSuccess) {
+    return r.err;
+  }
+  enclave.data_pages.push_back(page);
+
+  if (options != nullptr && options->with_shared_page) {
+    options->shared_insecure_pgnr = AllocInsecurePage();
+    if (const SmcRet r = MapInsecure(enclave.addrspace, MakeMapping(kEnclaveSharedVa, kMapR | kMapW),
+                                     options->shared_insecure_pgnr);
+        r.err != kErrSuccess) {
+      return r.err;
+    }
+  }
+
+  enclave.thread = AllocSecurePage();
+  const word entry = options != nullptr ? options->entrypoint : kEnclaveCodeVa;
+  if (const SmcRet r = InitThread(enclave.addrspace, enclave.thread, entry);
+      r.err != kErrSuccess) {
+    return r.err;
+  }
+  if (const SmcRet r = Finalise(enclave.addrspace); r.err != kErrSuccess) {
+    return r.err;
+  }
+  *out = enclave;
+  return kErrSuccess;
+}
+
+}  // namespace komodo::os

@@ -1,0 +1,98 @@
+// Normal-world OS model: the untrusted operating system of the paper's threat
+// model (§3.1). It owns insecure RAM, tracks which secure pages it believes
+// free, and drives the monitor through SMCs — the role played by the Linux
+// kernel driver in the prototype (§8.1).
+//
+// Nothing here is trusted: the monitor revalidates everything. The adversary
+// used by the security property tests subclasses the same SMC surface.
+#ifndef SRC_OS_OS_H_
+#define SRC_OS_OS_H_
+
+#include <vector>
+
+#include "src/arm/machine.h"
+#include "src/core/monitor.h"
+
+namespace komodo::os {
+
+struct SmcRet {
+  word err;
+  word val;
+};
+
+// A constructed enclave's handle (page numbers the OS used).
+struct EnclaveHandle {
+  PageNr addrspace = kInvalidPage;
+  PageNr l1pt = kInvalidPage;
+  std::vector<PageNr> l2pts;
+  PageNr thread = kInvalidPage;
+  std::vector<PageNr> data_pages;
+  std::vector<PageNr> spare_pages;
+};
+
+// Conventional enclave VA layout used by the examples and tests (all within
+// the first 4 MB, i.e. one L2 table page).
+inline constexpr vaddr kEnclaveCodeVa = 0x0000'8000;
+inline constexpr vaddr kEnclaveDataVa = 0x0001'0000;
+inline constexpr vaddr kEnclaveStackVa = 0x0002'0000;  // stack page (sp starts at top)
+inline constexpr vaddr kEnclaveSharedVa = 0x0010'0000;
+
+class Os {
+ public:
+  Os(arm::MachineState& m, Monitor& monitor);
+
+  // Issues an SMC: stages the call in r0-r4, traps to monitor mode, runs the
+  // monitor, and reads back r0/r1 — the kernel-driver path.
+  SmcRet Smc(word call, word a1 = 0, word a2 = 0, word a3 = 0, word a4 = 0);
+
+  // --- Table 1 wrappers -------------------------------------------------------
+  word GetPhysPages();
+  SmcRet InitAddrspace(PageNr as_page, PageNr l1pt_page);
+  SmcRet InitThread(PageNr as_page, PageNr thread_page, word entrypoint);
+  SmcRet InitL2Table(PageNr as_page, PageNr l2pt_page, word l1index);
+  SmcRet MapSecure(PageNr as_page, PageNr data_page, word mapping, word insecure_pgnr);
+  SmcRet AllocSpare(PageNr as_page, PageNr spare_page);
+  SmcRet MapInsecure(PageNr as_page, word mapping, word insecure_pgnr);
+  SmcRet Remove(PageNr page);
+  SmcRet Finalise(PageNr as_page);
+  SmcRet Enter(PageNr thread_page, word arg1 = 0, word arg2 = 0, word arg3 = 0);
+  SmcRet Resume(PageNr thread_page);
+  SmcRet Stop(PageNr as_page);
+
+  // --- OS-side resource management ---------------------------------------------
+  // Next secure page the OS believes free (monitor still validates).
+  PageNr AllocSecurePage();
+  void FreeSecurePage(PageNr n) { free_secure_.push_back(n); }
+  // Allocates an insecure physical page; returns its page number.
+  word AllocInsecurePage();
+  // Direct access to insecure RAM (the OS can read/write it freely).
+  void WriteInsecure(word pgnr, word word_offset, word value);
+  word ReadInsecure(word pgnr, word word_offset) const;
+  void WriteInsecurePage(word pgnr, const std::vector<word>& words);
+
+  // --- Enclave construction helper -------------------------------------------------
+  // Builds a single-threaded enclave with `code` mapped RX at kEnclaveCodeVa,
+  // one zeroed RW data page at kEnclaveDataVa, one RW stack page at
+  // kEnclaveStackVa, optionally one shared insecure page at kEnclaveSharedVa,
+  // then finalises. Returns kErrSuccess and the handle, or the first error.
+  struct BuildOptions {
+    bool with_shared_page = false;
+    word shared_insecure_pgnr = 0;  // filled in by the builder when enabled
+    std::vector<word> data_init;    // initial contents of the data page
+    word entrypoint = kEnclaveCodeVa;
+  };
+  word BuildEnclave(const std::vector<word>& code, BuildOptions* options, EnclaveHandle* out);
+
+  arm::MachineState& machine() { return machine_; }
+  Monitor& monitor() { return monitor_; }
+
+ private:
+  arm::MachineState& machine_;
+  Monitor& monitor_;
+  std::vector<PageNr> free_secure_;
+  word next_insecure_page_;
+};
+
+}  // namespace komodo::os
+
+#endif  // SRC_OS_OS_H_

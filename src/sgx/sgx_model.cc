@@ -1,0 +1,272 @@
+#include "src/sgx/sgx_model.h"
+
+namespace komodo::sgx {
+
+SgxMachine::SgxMachine(word epc_pages, const SgxCosts& costs)
+    : costs_(costs),
+      epcm_(epc_pages),
+      secs_(epc_pages),
+      contents_(epc_pages),
+      tcs_entered_flag_(epc_pages, false),
+      blocked_epoch_(epc_pages, 0) {}
+
+SgxStatus SgxMachine::Ecreate(word secs_page) {
+  cycles_ += costs_.ecreate;
+  if (!ValidPage(secs_page)) {
+    return SgxStatus::kInvalidPage;
+  }
+  if (epcm_[secs_page].valid) {
+    return SgxStatus::kPageInUse;
+  }
+  epcm_[secs_page] = EpcmEntry{true, EpcmType::kSecs, secs_page, 0, false, false, false, false,
+                               false};
+  secs_[secs_page] = SecsState{};
+  return SgxStatus::kOk;
+}
+
+SgxStatus SgxMachine::Eadd(word secs_page, word page, word linaddr, bool w, bool x, EpcmType type,
+                           const std::array<uint8_t, kSgxPageBytes>& contents) {
+  cycles_ += costs_.eadd;
+  if (!IsSecs(secs_page) || !ValidPage(page)) {
+    return SgxStatus::kInvalidPage;
+  }
+  if (secs_[secs_page].initialised) {
+    return SgxStatus::kAlreadyInitialised;
+  }
+  if (epcm_[page].valid) {
+    return SgxStatus::kPageInUse;
+  }
+  if (type != EpcmType::kReg && type != EpcmType::kTcs) {
+    return SgxStatus::kInvalidPage;
+  }
+  if ((linaddr & (kSgxPageBytes - 1)) != 0) {
+    return SgxStatus::kInvalidLinaddr;
+  }
+  epcm_[page] = EpcmEntry{true, type, secs_page, linaddr, true, w, x, false, false};
+  contents_[page] = contents;
+  // EADD measures the page's metadata (address, type, perms); contents are
+  // covered by subsequent EEXTENDs.
+  crypto::Sha256& stream = secs_[secs_page].mrenclave_stream;
+  stream.UpdateWordLe(0x44444145);  // "EADD"
+  stream.UpdateWordLe(linaddr);
+  stream.UpdateWordLe(static_cast<word>(type) | (w ? 0x100u : 0) | (x ? 0x200u : 0));
+  return SgxStatus::kOk;
+}
+
+SgxStatus SgxMachine::Eextend(word secs_page, word page, word chunk_offset) {
+  cycles_ += costs_.eextend_per_chunk;
+  if (!IsSecs(secs_page) || !ValidPage(page) || !epcm_[page].valid ||
+      epcm_[page].secs != secs_page) {
+    return SgxStatus::kInvalidPage;
+  }
+  if (secs_[secs_page].initialised) {
+    return SgxStatus::kAlreadyInitialised;
+  }
+  if (chunk_offset % kEextendChunk != 0 || chunk_offset >= kSgxPageBytes) {
+    return SgxStatus::kInvalidLinaddr;
+  }
+  crypto::Sha256& stream = secs_[secs_page].mrenclave_stream;
+  stream.UpdateWordLe(0x44545845);  // "EXTD"
+  stream.UpdateWordLe(epcm_[page].linaddr + chunk_offset);
+  stream.Update(contents_[page].data() + chunk_offset, kEextendChunk);
+  return SgxStatus::kOk;
+}
+
+SgxStatus SgxMachine::Einit(word secs_page) {
+  cycles_ += costs_.einit;
+  if (!IsSecs(secs_page)) {
+    return SgxStatus::kInvalidSecs;
+  }
+  if (secs_[secs_page].initialised) {
+    return SgxStatus::kAlreadyInitialised;
+  }
+  crypto::Sha256 stream = secs_[secs_page].mrenclave_stream;  // copy, keep stream intact
+  secs_[secs_page].mrenclave = stream.Finalize();
+  secs_[secs_page].initialised = true;
+  return SgxStatus::kOk;
+}
+
+SgxStatus SgxMachine::Eenter(word tcs_page) {
+  cycles_ += costs_.eenter;
+  if (!ValidPage(tcs_page) || !epcm_[tcs_page].valid || epcm_[tcs_page].type != EpcmType::kTcs) {
+    return SgxStatus::kInvalidPage;
+  }
+  const word secs_page = epcm_[tcs_page].secs;
+  if (!secs_[secs_page].initialised) {
+    return SgxStatus::kNotInitialised;
+  }
+  if (tcs_entered_flag_[tcs_page]) {
+    return SgxStatus::kEntryInProgress;
+  }
+  tcs_entered_flag_[tcs_page] = true;
+  secs_[secs_page].tcs_entered += 1;
+  return SgxStatus::kOk;
+}
+
+SgxStatus SgxMachine::Eresume(word tcs_page) {
+  cycles_ += costs_.eresume;
+  if (!ValidPage(tcs_page) || !epcm_[tcs_page].valid || epcm_[tcs_page].type != EpcmType::kTcs) {
+    return SgxStatus::kInvalidPage;
+  }
+  if (tcs_entered_flag_[tcs_page]) {
+    return SgxStatus::kEntryInProgress;
+  }
+  tcs_entered_flag_[tcs_page] = true;
+  secs_[epcm_[tcs_page].secs].tcs_entered += 1;
+  return SgxStatus::kOk;
+}
+
+SgxStatus SgxMachine::Eexit(word tcs_page) {
+  cycles_ += costs_.eexit;
+  if (!ValidPage(tcs_page) || !tcs_entered_flag_[tcs_page]) {
+    return SgxStatus::kNotEntered;
+  }
+  tcs_entered_flag_[tcs_page] = false;
+  secs_[epcm_[tcs_page].secs].tcs_entered -= 1;
+  return SgxStatus::kOk;
+}
+
+SgxStatus SgxMachine::Aex(word tcs_page) {
+  cycles_ += costs_.aex;
+  if (!ValidPage(tcs_page) || !tcs_entered_flag_[tcs_page]) {
+    return SgxStatus::kNotEntered;
+  }
+  tcs_entered_flag_[tcs_page] = false;
+  secs_[epcm_[tcs_page].secs].tcs_entered -= 1;
+  return SgxStatus::kOk;
+}
+
+SgxStatus SgxMachine::Eaug(word secs_page, word page, word linaddr) {
+  cycles_ += costs_.eaug;
+  if (!IsSecs(secs_page) || !ValidPage(page)) {
+    return SgxStatus::kInvalidPage;
+  }
+  if (!secs_[secs_page].initialised) {
+    return SgxStatus::kNotInitialised;  // SGXv2: EAUG only after EINIT
+  }
+  if (epcm_[page].valid) {
+    return SgxStatus::kPageInUse;
+  }
+  if ((linaddr & (kSgxPageBytes - 1)) != 0) {
+    return SgxStatus::kInvalidLinaddr;
+  }
+  epcm_[page] = EpcmEntry{true, EpcmType::kReg, secs_page, linaddr, true, true, false,
+                          /*pending=*/true, false};
+  contents_[page] = {};  // zero-filled
+  return SgxStatus::kOk;
+}
+
+SgxStatus SgxMachine::Eaccept(word page, word linaddr, bool w, bool x) {
+  cycles_ += costs_.eaccept;
+  if (!ValidPage(page) || !epcm_[page].valid) {
+    return SgxStatus::kInvalidPage;
+  }
+  if (!epcm_[page].pending) {
+    return SgxStatus::kNotPending;
+  }
+  if (epcm_[page].linaddr != linaddr) {
+    return SgxStatus::kInvalidLinaddr;
+  }
+  // The enclave must accept exactly the OS-chosen permissions or weaker —
+  // this is the side channel §4 notes Komodo avoids: the OS picked them.
+  if ((w && !epcm_[page].w) || (x && !epcm_[page].x)) {
+    return SgxStatus::kPermMismatch;
+  }
+  epcm_[page].pending = false;
+  epcm_[page].w = w;
+  epcm_[page].x = x;
+  return SgxStatus::kOk;
+}
+
+SgxStatus SgxMachine::Eremove(word page) {
+  cycles_ += costs_.eremove;
+  if (!ValidPage(page) || !epcm_[page].valid) {
+    return SgxStatus::kInvalidPage;
+  }
+  if (epcm_[page].type == EpcmType::kSecs) {
+    // A SECS is removable only when no child pages remain.
+    for (word p = 0; p < epcm_.size(); ++p) {
+      if (p != page && epcm_[p].valid && epcm_[p].secs == page) {
+        return SgxStatus::kPageInUse;
+      }
+    }
+  } else if (epcm_[page].type == EpcmType::kTcs && tcs_entered_flag_[page]) {
+    return SgxStatus::kEntryInProgress;
+  }
+  epcm_[page] = EpcmEntry{};
+  contents_[page] = {};
+  return SgxStatus::kOk;
+}
+
+SgxStatus SgxMachine::Eblock(word page) {
+  cycles_ += costs_.eblock;
+  if (!ValidPage(page) || !epcm_[page].valid || epcm_[page].type == EpcmType::kSecs) {
+    return SgxStatus::kInvalidPage;
+  }
+  if (epcm_[page].blocked) {
+    return SgxStatus::kPageBlocked;
+  }
+  epcm_[page].blocked = true;
+  blocked_epoch_[page] = secs_[epcm_[page].secs].epoch;
+  return SgxStatus::kOk;
+}
+
+SgxStatus SgxMachine::Etrack(word secs_page) {
+  cycles_ += costs_.etrack;
+  if (!IsSecs(secs_page)) {
+    return SgxStatus::kInvalidSecs;
+  }
+  // Real hardware requires all logical processors to leave the enclave before
+  // the epoch can advance; single-core here, so entered-count must be zero.
+  if (secs_[secs_page].tcs_entered != 0) {
+    return SgxStatus::kEntryInProgress;
+  }
+  secs_[secs_page].epoch += 1;
+  return SgxStatus::kOk;
+}
+
+SgxStatus SgxMachine::Ewb(word page, std::vector<uint8_t>* encrypted_out) {
+  cycles_ += costs_.ewb;
+  if (!ValidPage(page) || !epcm_[page].valid) {
+    return SgxStatus::kInvalidPage;
+  }
+  if (!epcm_[page].blocked) {
+    return SgxStatus::kNotBlocked;
+  }
+  // The TLB-shootdown protocol (§2): an ETRACK epoch must have completed
+  // since this page was blocked.
+  if (secs_[epcm_[page].secs].epoch <= blocked_epoch_[page]) {
+    return SgxStatus::kNotTracked;
+  }
+  // "Encryption": versioned serialisation with an integrity tag stand-in.
+  encrypted_out->assign(contents_[page].begin(), contents_[page].end());
+  const crypto::Digest tag = crypto::Sha256Hash(encrypted_out->data(), encrypted_out->size());
+  encrypted_out->insert(encrypted_out->end(), tag.begin(), tag.end());
+  epcm_[page] = EpcmEntry{};
+  contents_[page] = {};
+  return SgxStatus::kOk;
+}
+
+SgxStatus SgxMachine::Eldu(word secs_page, word page, word linaddr,
+                           const std::vector<uint8_t>& blob) {
+  cycles_ += costs_.eldu;
+  if (!IsSecs(secs_page) || !ValidPage(page)) {
+    return SgxStatus::kInvalidPage;
+  }
+  if (epcm_[page].valid) {
+    return SgxStatus::kPageInUse;
+  }
+  if (blob.size() != kSgxPageBytes + crypto::kSha256DigestBytes) {
+    return SgxStatus::kInvalidLinaddr;
+  }
+  const crypto::Digest tag = crypto::Sha256Hash(blob.data(), kSgxPageBytes);
+  if (!crypto::ConstantTimeEqual(tag.data(), blob.data() + kSgxPageBytes, tag.size())) {
+    return SgxStatus::kInvalidLinaddr;
+  }
+  epcm_[page] = EpcmEntry{true, EpcmType::kReg, secs_page, linaddr, true, true, false, false,
+                          false};
+  std::copy(blob.begin(), blob.begin() + kSgxPageBytes, contents_[page].begin());
+  return SgxStatus::kOk;
+}
+
+}  // namespace komodo::sgx

@@ -1,0 +1,137 @@
+// Functional model of Intel SGX's enclave instructions (§2), the baseline the
+// paper compares against. Implements the EPCM state machine for SGXv1
+// construction/execution plus the SGXv2 dynamic-memory instructions
+// (EAUG/EACCEPT/EMODT semantics simplified to the paths the paper discusses),
+// with a microcode-flow cycle model calibrated to published latencies:
+// EENTER ≈ 3,800 and EEXIT ≈ 3,300 cycles (Orenbach et al. [66], quoted in
+// §8.1), scaled to a common cycle unit with the Komodo numbers.
+#ifndef SRC_SGX_SGX_MODEL_H_
+#define SRC_SGX_SGX_MODEL_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+
+namespace komodo::sgx {
+
+using word = uint32_t;
+
+inline constexpr word kSgxPageBytes = 4096;
+inline constexpr word kEextendChunk = 256;
+
+enum class SgxStatus : word {
+  kOk = 0,
+  kInvalidPage,
+  kPageInUse,
+  kInvalidSecs,
+  kAlreadyInitialised,
+  kNotInitialised,
+  kInvalidLinaddr,
+  kNotPending,
+  kPermMismatch,
+  kEntryInProgress,
+  kNotEntered,
+  kPageBlocked,
+  kNotBlocked,
+  kNotTracked,
+};
+
+enum class EpcmType : uint8_t { kFree, kSecs, kTcs, kReg, kTrim };
+
+// One EPCM entry (§2): the hardware's reverse map of encrypted pages.
+struct EpcmEntry {
+  bool valid = false;
+  EpcmType type = EpcmType::kFree;
+  word secs = ~0u;      // owning enclave, as the SECS page index
+  word linaddr = 0;     // enclave-virtual address this page backs
+  bool r = false, w = false, x = false;
+  bool pending = false;  // EAUG'd, awaiting EACCEPT
+  bool blocked = false;  // EBLOCK'd, awaiting EWB
+};
+
+// SECS-side per-enclave state.
+struct SecsState {
+  bool initialised = false;
+  crypto::Sha256 mrenclave_stream;
+  crypto::Digest mrenclave{};
+  word tcs_entered = 0;  // count of TCSes currently executing
+  uint64_t epoch = 0;    // ETRACK epoch counter for TLB-shootdown validation
+};
+
+// Cycle costs of the microcode flows (common unit with the Komodo model).
+struct SgxCosts {
+  uint64_t ecreate = 10'000;
+  uint64_t eadd = 10'500;
+  uint64_t eextend_per_chunk = 3'250;  // per 256 B
+  uint64_t einit = 60'000;             // launch-token checks, key derivation
+  uint64_t eenter = 3'800;             // Orenbach et al. [66]
+  uint64_t eexit = 3'300;              // Orenbach et al. [66]
+  uint64_t eresume = 3'800;
+  uint64_t aex = 3'300;
+  uint64_t eaug = 10'200;
+  uint64_t eaccept = 3'800;
+  uint64_t eremove = 1'300;
+  uint64_t eblock = 1'600;
+  uint64_t etrack = 1'200;
+  uint64_t ewb = 25'000;   // encrypt + MAC a page out
+  uint64_t eldu = 25'000;  // decrypt + verify a page in
+};
+
+class SgxMachine {
+ public:
+  explicit SgxMachine(word epc_pages = 256, const SgxCosts& costs = SgxCosts{});
+
+  // --- SGXv1 construction -----------------------------------------------------
+  SgxStatus Ecreate(word secs_page);
+  SgxStatus Eadd(word secs_page, word page, word linaddr, bool w, bool x, EpcmType type,
+                 const std::array<uint8_t, kSgxPageBytes>& contents);
+  SgxStatus Eextend(word secs_page, word page, word chunk_offset);
+  SgxStatus Einit(word secs_page);
+
+  // --- Execution ----------------------------------------------------------------
+  SgxStatus Eenter(word tcs_page);
+  SgxStatus Eresume(word tcs_page);
+  SgxStatus Eexit(word tcs_page);
+  SgxStatus Aex(word tcs_page);  // asynchronous exit (interrupt)
+
+  // --- SGXv2 dynamic memory --------------------------------------------------------
+  SgxStatus Eaug(word secs_page, word page, word linaddr);
+  SgxStatus Eaccept(word page, word linaddr, bool w, bool x);  // from inside
+
+  // --- Deallocation and paging --------------------------------------------------------
+  SgxStatus Eremove(word page);
+  SgxStatus Eblock(word page);
+  SgxStatus Etrack(word secs_page);
+  // EWB requires an ETRACK epoch to have elapsed since the EBLOCK.
+  SgxStatus Ewb(word page, std::vector<uint8_t>* encrypted_out);
+  SgxStatus Eldu(word secs_page, word page, word linaddr, const std::vector<uint8_t>& blob);
+
+  const EpcmEntry& Epcm(word page) const { return epcm_[page]; }
+  const SecsState& Secs(word secs_page) const { return secs_[secs_page]; }
+  crypto::Digest Mrenclave(word secs_page) const { return secs_[secs_page].mrenclave; }
+
+  uint64_t cycles() const { return cycles_; }
+  void ResetCycles() { cycles_ = 0; }
+  word epc_pages() const { return static_cast<word>(epcm_.size()); }
+
+ private:
+  bool ValidPage(word page) const { return page < epcm_.size(); }
+  bool IsSecs(word page) const {
+    return ValidPage(page) && epcm_[page].valid && epcm_[page].type == EpcmType::kSecs;
+  }
+
+  SgxCosts costs_;
+  uint64_t cycles_ = 0;
+  std::vector<EpcmEntry> epcm_;
+  std::vector<SecsState> secs_;  // indexed by page; meaningful for SECS pages
+  std::vector<std::array<uint8_t, kSgxPageBytes>> contents_;
+  std::vector<bool> tcs_entered_flag_;  // per TCS page
+  std::vector<uint64_t> blocked_epoch_;  // epoch at EBLOCK time, per page
+};
+
+}  // namespace komodo::sgx
+
+#endif  // SRC_SGX_SGX_MODEL_H_

@@ -1,0 +1,16 @@
+#include "src/spec/abstract_state.h"
+
+namespace komodo::spec {
+
+std::optional<std::pair<PageNr, word>> SpecL2Slot(const PageDb& d, PageNr as_page, word mapping) {
+  const arm::vaddr va = MappingVa(mapping);
+  const AddrspacePage& as = d[as_page].As<AddrspacePage>();
+  const L1PTablePage& l1 = d[as.l1pt_page].As<L1PTablePage>();
+  const word l1_index = va >> 22;  // 4 MB per L2PTable page
+  if (!l1.l2_tables[l1_index].has_value()) {
+    return std::nullopt;
+  }
+  return std::make_pair(*l1.l2_tables[l1_index], (va >> 12) & 0x3ff);
+}
+
+}  // namespace komodo::spec

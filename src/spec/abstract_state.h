@@ -1,0 +1,136 @@
+// Abstract PageDB — the state space of the paper's functional specification
+// (§5.2). Pure value types: spec functions map (PageDb, args) to
+// (error, PageDb) with no machine in sight. The refinement tests extract this
+// representation from the monitor's in-memory state and compare.
+#ifndef SRC_SPEC_ABSTRACT_STATE_H_
+#define SRC_SPEC_ABSTRACT_STATE_H_
+
+#include <array>
+#include <map>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "src/arm/types.h"
+#include "src/core/kom_defs.h"
+#include "src/crypto/sha256.h"
+
+namespace komodo::spec {
+
+using arm::word;
+
+// --- Abstract page-table views -------------------------------------------------
+
+// One leaf mapping in an enclave's second-level table.
+struct SecureMapping {
+  PageNr data_page;
+  bool writable;
+  bool executable;
+  bool operator==(const SecureMapping&) const = default;
+};
+
+struct InsecureMapping {
+  word insecure_pgnr;  // physical page number in insecure RAM
+  bool writable;
+  bool operator==(const InsecureMapping&) const = default;
+};
+
+using L2Entry = std::variant<std::monostate, SecureMapping, InsecureMapping>;
+
+// --- PageDB entries ---------------------------------------------------------------
+
+struct FreePage {
+  bool operator==(const FreePage&) const = default;
+};
+
+struct AddrspacePage {
+  PageNr l1pt_page = kInvalidPage;
+  word refcount = 0;
+  AddrspaceState state = AddrspaceState::kInit;
+  // In-progress measurement stream (meaningful in kInit) and the final
+  // measurement (meaningful from kFinal on).
+  std::array<uint32_t, crypto::Sha256::kExportWords> measurement_stream{};
+  crypto::DigestWords measurement{};
+  bool operator==(const AddrspacePage&) const = default;
+};
+
+struct DispatcherPage {
+  bool entered = false;
+  word entrypoint = 0;
+  // Saved user context, meaningful when entered.
+  std::array<word, 13> regs{};
+  word sp = 0;
+  word lr = 0;
+  word pc = 0;
+  word psr = 0;
+  bool operator==(const DispatcherPage&) const = default;
+};
+
+struct L1PTablePage {
+  // One slot per 4 MB region (kL1Entries / kL2TablesPerPage): the L2PTable
+  // page serving it, if installed.
+  std::array<std::optional<PageNr>, 256> l2_tables{};
+  bool operator==(const L1PTablePage&) const = default;
+};
+
+struct L2PTablePage {
+  // 1024 leaf slots (four 256-entry hardware tables per page).
+  std::array<L2Entry, arm::kWordsPerPage / 4 * 4> entries{};
+  bool operator==(const L2PTablePage&) const = default;
+};
+
+struct DataPage {
+  std::array<word, arm::kWordsPerPage> contents{};
+  bool operator==(const DataPage&) const = default;
+};
+
+struct SparePage {
+  bool operator==(const SparePage&) const = default;
+};
+
+struct PageDbEntry {
+  PageNr owner = kInvalidPage;  // owning address space (self for Addrspace)
+  std::variant<FreePage, AddrspacePage, DispatcherPage, L1PTablePage, L2PTablePage, DataPage,
+               SparePage>
+      page;
+
+  bool operator==(const PageDbEntry&) const = default;
+
+  PageType type() const {
+    return static_cast<PageType>(page.index());  // variant order matches PageType
+  }
+  bool IsFree() const { return type() == PageType::kFree; }
+
+  template <typename T>
+  T& As() {
+    return std::get<T>(page);
+  }
+  template <typename T>
+  const T& As() const {
+    return std::get<T>(page);
+  }
+};
+
+struct PageDb {
+  std::vector<PageDbEntry> pages;
+
+  explicit PageDb(size_t npages = 0) : pages(npages) {}
+  size_t NPages() const { return pages.size(); }
+  bool ValidPageNr(PageNr n) const { return n < pages.size(); }
+  PageDbEntry& operator[](PageNr n) { return pages[n]; }
+  const PageDbEntry& operator[](PageNr n) const { return pages[n]; }
+  bool operator==(const PageDb&) const = default;
+};
+
+// Helpers shared by the spec functions and invariants.
+inline bool IsAddrspace(const PageDb& d, PageNr n) {
+  return d.ValidPageNr(n) && d[n].type() == PageType::kAddrspace;
+}
+
+// Resolves the L2 slot index for a mapping within an address space; returns
+// the (l2_page, slot_index) if the L2 table exists.
+std::optional<std::pair<PageNr, word>> SpecL2Slot(const PageDb& d, PageNr as_page, word mapping);
+
+}  // namespace komodo::spec
+
+#endif  // SRC_SPEC_ABSTRACT_STATE_H_

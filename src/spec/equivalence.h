@@ -1,0 +1,43 @@
+// Observational-equivalence relations from the noninterference proofs (§6.1):
+// weak page equivalence =enc (Definition 1), enclave observational
+// equivalence ≈enc (Definition 2), and the OS-adversary relation ≈adv, which
+// additionally compares general-purpose registers, non-monitor banked
+// registers, and all of insecure memory.
+#ifndef SRC_SPEC_EQUIVALENCE_H_
+#define SRC_SPEC_EQUIVALENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/arm/machine.h"
+#include "src/spec/abstract_state.h"
+
+namespace komodo::spec {
+
+// Definition 1: pages outside the observer's address space look the same if
+// they have the same type (data/spare), the same type and entered flag
+// (dispatcher), or are fully equal (page tables and address spaces).
+bool WeakEquivPage(const PageDbEntry& e1, const PageDbEntry& e2);
+
+// Definition 2: ≈enc for observer address space `enc`. Returns violations
+// (empty = related).
+std::vector<std::string> EncEquivViolations(const PageDb& d1, const PageDb& d2, PageNr enc);
+inline bool ObsEquivEnc(const PageDb& d1, const PageDb& d2, PageNr enc) {
+  return EncEquivViolations(d1, d2, enc).empty();
+}
+
+// ≈adv: the OS colluding with enclave `enc` (pass kInvalidPage for an OS-only
+// adversary, i.e. skip the colluding-enclave clause). Compares, on top of
+// ≈enc: r0-r12, banked SP/LR/SPSR of every mode except monitor, CPSR, and the
+// full insecure memory.
+std::vector<std::string> AdvEquivViolations(const arm::MachineState& m1, const PageDb& d1,
+                                            const arm::MachineState& m2, const PageDb& d2,
+                                            PageNr enc);
+inline bool ObsEquivAdv(const arm::MachineState& m1, const PageDb& d1,
+                        const arm::MachineState& m2, const PageDb& d2, PageNr enc) {
+  return AdvEquivViolations(m1, d1, m2, d2, enc).empty();
+}
+
+}  // namespace komodo::spec
+
+#endif  // SRC_SPEC_EQUIVALENCE_H_

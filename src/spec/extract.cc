@@ -1,0 +1,158 @@
+#include "src/spec/extract.h"
+
+#include <cassert>
+
+#include "src/arm/page_table.h"
+#include "src/core/pagedb.h"
+
+namespace komodo::spec {
+
+namespace {
+
+word ReadGlobal(const arm::MachineState& m, word offset) {
+  return m.mem.Read(arm::kMonitorBase + offset);
+}
+
+word ReadDbField(const arm::MachineState& m, PageNr n, word field) {
+  return m.mem.Read(arm::kMonitorBase + kPageDbOffset + n * kPageDbEntryWords * arm::kWordSize +
+                    field * arm::kWordSize);
+}
+
+word ReadPageWord(const arm::MachineState& m, PageNr page, word word_offset) {
+  return m.mem.Read(PagePaddr(page) + word_offset * arm::kWordSize);
+}
+
+// Maps a physical address inside the secure region back to its page number.
+PageNr SecurePageNrOf(paddr addr) {
+  assert(addr >= arm::kSecurePagesBase);
+  return (addr - arm::kSecurePagesBase) / arm::kPageSize;
+}
+
+AddrspacePage ExtractAddrspace(const arm::MachineState& m, PageNr page) {
+  AddrspacePage as;
+  as.l1pt_page = ReadPageWord(m, page, kAsL1PtPage);
+  as.refcount = ReadPageWord(m, page, kAsRefcount);
+  as.state = static_cast<AddrspaceState>(ReadPageWord(m, page, kAsState));
+  for (word i = 0; i < 8; ++i) {
+    as.measurement[i] = ReadPageWord(m, page, kAsMeasurementDigest + i);
+  }
+  for (word i = 0; i < crypto::Sha256::kExportWords; ++i) {
+    as.measurement_stream[i] = ReadPageWord(m, page, kAsMeasurementStream + i);
+  }
+  return as;
+}
+
+DispatcherPage ExtractDispatcher(const arm::MachineState& m, PageNr page) {
+  DispatcherPage disp;
+  disp.entered = ReadPageWord(m, page, kDispEntered) != 0;
+  disp.entrypoint = ReadPageWord(m, page, kDispEntrypoint);
+  for (word i = 0; i < 13; ++i) {
+    disp.regs[i] = ReadPageWord(m, page, kDispSavedRegs + i);
+  }
+  disp.sp = ReadPageWord(m, page, kDispSavedSp);
+  disp.lr = ReadPageWord(m, page, kDispSavedLr);
+  disp.pc = ReadPageWord(m, page, kDispSavedPc);
+  disp.psr = ReadPageWord(m, page, kDispSavedPsr);
+  return disp;
+}
+
+L1PTablePage ExtractL1PTable(const arm::MachineState& m, PageNr page) {
+  L1PTablePage l1;
+  for (word group = 0; group < 256; ++group) {
+    // The four hardware descriptors of one group must agree: either all
+    // faults, or the four quarters of one L2PTable page.
+    const word desc0 = m.mem.Read(PagePaddr(page) + group * 4 * arm::kWordSize);
+    if (desc0 == arm::kL1FaultDesc) {
+      continue;
+    }
+    assert(arm::IsL1PageTableDesc(desc0));
+    const paddr base = arm::L1DescTableBase(desc0);
+    assert(arm::IsPageAligned(base));
+    l1.l2_tables[group] = SecurePageNrOf(base);
+  }
+  return l1;
+}
+
+L2PTablePage ExtractL2PTable(const arm::MachineState& m, PageNr page) {
+  L2PTablePage l2;
+  for (word i = 0; i < 1024; ++i) {
+    const word desc = m.mem.Read(PagePaddr(page) + i * arm::kWordSize);
+    if (desc == arm::kL2FaultDesc) {
+      continue;
+    }
+    assert(arm::IsL2SmallPageDesc(desc));
+    const arm::L2Perms perms = arm::L2DescPerms(desc);
+    const paddr base = arm::L2DescPageBase(desc);
+    if (perms.ns) {
+      l2.entries[i] = InsecureMapping{base / arm::kPageSize, perms.user_write};
+    } else {
+      l2.entries[i] = SecureMapping{SecurePageNrOf(base), perms.user_write, perms.executable};
+    }
+  }
+  return l2;
+}
+
+DataPage ExtractData(const arm::MachineState& m, PageNr page) {
+  DataPage data;
+  for (word i = 0; i < arm::kWordsPerPage; ++i) {
+    data.contents[i] = ReadPageWord(m, page, i);
+  }
+  return data;
+}
+
+}  // namespace
+
+PageDb ExtractPageDb(const arm::MachineState& m) {
+  const word npages = ReadGlobal(m, kGlobalNPages);
+  PageDb d(npages);
+  for (PageNr n = 0; n < npages; ++n) {
+    const PageType type = static_cast<PageType>(ReadDbField(m, n, 0));
+    const PageNr owner = ReadDbField(m, n, 1);
+    PageDbEntry entry;
+    entry.owner = owner;
+    switch (type) {
+      case PageType::kFree:
+        entry.page = FreePage{};
+        break;
+      case PageType::kAddrspace:
+        entry.page = ExtractAddrspace(m, n);
+        break;
+      case PageType::kDispatcher:
+        entry.page = ExtractDispatcher(m, n);
+        break;
+      case PageType::kL1PTable:
+        entry.page = ExtractL1PTable(m, n);
+        break;
+      case PageType::kL2PTable:
+        entry.page = ExtractL2PTable(m, n);
+        break;
+      case PageType::kDataPage:
+        entry.page = ExtractData(m, n);
+        break;
+      case PageType::kSparePage:
+        entry.page = SparePage{};
+        break;
+    }
+    d[n] = std::move(entry);
+  }
+  return d;
+}
+
+std::array<word, arm::kWordsPerPage> ExtractPageContents(const arm::MachineState& m, PageNr page) {
+  std::array<word, arm::kWordsPerPage> out;
+  for (word i = 0; i < arm::kWordsPerPage; ++i) {
+    out[i] = ReadPageWord(m, page, i);
+  }
+  return out;
+}
+
+std::array<word, arm::kWordsPerPage> ReadInsecurePage(const arm::MachineState& m,
+                                                      word insecure_pgnr) {
+  std::array<word, arm::kWordsPerPage> out;
+  for (word i = 0; i < arm::kWordsPerPage; ++i) {
+    out[i] = m.mem.Read(insecure_pgnr * arm::kPageSize + i * arm::kWordSize);
+  }
+  return out;
+}
+
+}  // namespace komodo::spec

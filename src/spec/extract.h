@@ -1,0 +1,29 @@
+// Extraction of the abstract PageDb from the monitor's concrete in-memory
+// representation — the refinement relation between implementation and spec.
+// The refinement tests require ExtractPageDb(machine after impl call) to
+// equal the spec function's output; the implementation keeps no C++ shadow
+// state it could cheat with.
+#ifndef SRC_SPEC_EXTRACT_H_
+#define SRC_SPEC_EXTRACT_H_
+
+#include "src/arm/machine.h"
+#include "src/spec/abstract_state.h"
+
+namespace komodo::spec {
+
+// Reads the PageDB region, typed secure pages and hardware page tables out of
+// simulated memory and reifies the abstract state. Asserts only structural
+// well-formedness needed to decode (e.g. descriptor addresses inside the
+// secure region); semantic invariants are checked separately.
+PageDb ExtractPageDb(const arm::MachineState& m);
+
+// Extracts the contents of one secure page as words (for data-page checks).
+std::array<word, arm::kWordsPerPage> ExtractPageContents(const arm::MachineState& m, PageNr page);
+
+// Reads one insecure physical page as words (spec input for MapSecure).
+std::array<word, arm::kWordsPerPage> ReadInsecurePage(const arm::MachineState& m,
+                                                      word insecure_pgnr);
+
+}  // namespace komodo::spec
+
+#endif  // SRC_SPEC_EXTRACT_H_

@@ -1,0 +1,22 @@
+// PageDB validity invariants (§5.2): the consistency properties the paper
+// proves every SMC and SVC preserves. The property tests assert these after
+// every call in randomized traces.
+#ifndef SRC_SPEC_INVARIANTS_H_
+#define SRC_SPEC_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/spec/abstract_state.h"
+
+namespace komodo::spec {
+
+// Returns the list of violated invariants (empty = valid). Each entry is a
+// human-readable description naming the offending page.
+std::vector<std::string> PageDbViolations(const PageDb& d);
+
+inline bool ValidPageDb(const PageDb& d) { return PageDbViolations(d).empty(); }
+
+}  // namespace komodo::spec
+
+#endif  // SRC_SPEC_INVARIANTS_H_

@@ -1,0 +1,51 @@
+// Pure-functional specification of the Komodo monitor calls (§5.2).
+//
+// Each management SMC and each memory-management SVC is specified as a
+// function from an input PageDb and arguments to an error code and resulting
+// PageDb — exactly the structure of the paper's Dafny spec, where the
+// SMC-handler predicate relates states before and after. Enter/Resume involve
+// user-mode execution and are specified separately as pre/post predicates
+// (see the refinement tests).
+#ifndef SRC_SPEC_SPEC_CALLS_H_
+#define SRC_SPEC_SPEC_CALLS_H_
+
+#include <array>
+
+#include "src/spec/abstract_state.h"
+
+namespace komodo::spec {
+
+struct Result {
+  word err;
+  PageDb db;
+};
+
+// --- SMCs ------------------------------------------------------------------------
+Result SpecInitAddrspace(PageDb d, PageNr as_page, PageNr l1pt_page);
+Result SpecInitThread(PageDb d, PageNr as_page, PageNr disp_page, word entrypoint);
+Result SpecInitL2Table(PageDb d, PageNr as_page, PageNr l2pt_page, word l1index);
+// `insecure_ok` abstracts the machine-level validity of the source page
+// (inside insecure RAM, overlapping neither monitor nor secure region);
+// `contents` is that page's data at call time.
+Result SpecMapSecure(PageDb d, PageNr as_page, PageNr data_page, word mapping, bool insecure_ok,
+                     const std::array<word, arm::kWordsPerPage>& contents);
+Result SpecAllocSpare(PageDb d, PageNr as_page, PageNr spare_page);
+Result SpecMapInsecure(PageDb d, PageNr as_page, word mapping, bool insecure_ok,
+                       word insecure_pgnr);
+Result SpecRemove(PageDb d, PageNr page);
+Result SpecFinalise(PageDb d, PageNr as_page);
+Result SpecStop(PageDb d, PageNr as_page);
+
+// --- Dynamic-memory SVCs (issued by the enclave owning `as_page`) -------------------
+Result SpecSvcInitL2Table(PageDb d, PageNr as_page, PageNr spare_page, word l1index);
+Result SpecSvcMapData(PageDb d, PageNr as_page, PageNr spare_page, word mapping);
+Result SpecSvcUnmapData(PageDb d, PageNr as_page, PageNr data_page, word mapping);
+
+// The enclave measurement a conforming implementation must produce for a
+// given construction trace is fully determined by these records; exposed so
+// tests can predict measurements independently.
+crypto::DigestWords SpecMeasurementAfterFinalise(const AddrspacePage& as);
+
+}  // namespace komodo::spec
+
+#endif  // SRC_SPEC_SPEC_CALLS_H_

@@ -1,0 +1,182 @@
+#include "src/arm/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/arm/execute.h"
+
+namespace komodo::arm {
+namespace {
+
+constexpr vaddr kBase = 0x2000;
+
+TEST(AssemblerTest, ForwardAndBackwardBranchesResolve) {
+  Assembler a(kBase);
+  Assembler::Label fwd = a.NewLabel();
+  Assembler::Label back = a.NewLabel();
+  a.Bind(back);
+  a.B(fwd);        // forward
+  a.B(back);       // backward
+  a.Bind(fwd);
+  a.Svc();
+  const std::vector<word> code = a.Finish();
+  // First branch targets kBase+8 (the svc): offset = 8 - (0+8) = 0.
+  const std::optional<Instruction> b1 = Decode(code[0]);
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_EQ(b1->branch_offset, 0);
+  // Second targets kBase: offset = 0 - (4+8) = -12.
+  const std::optional<Instruction> b2 = Decode(code[1]);
+  EXPECT_EQ(b2->branch_offset, -12);
+}
+
+TEST(AssemblerTest, AddrOfAndCurrentAddr) {
+  Assembler a(kBase);
+  EXPECT_EQ(a.CurrentAddr(), kBase);
+  a.MovImm(R0, 1);
+  EXPECT_EQ(a.CurrentAddr(), kBase + 4);
+  Assembler::Label here = a.NewLabel();
+  a.Bind(here);
+  EXPECT_EQ(a.AddrOf(here), kBase + 4);
+}
+
+TEST(AssemblerTest, MovImmChoosesShortestEncoding) {
+  {
+    Assembler a(kBase);
+    a.MovImm(R0, 0xff);  // plain mov
+    EXPECT_EQ(a.size_words(), 1u);
+  }
+  {
+    Assembler a(kBase);
+    a.MovImm(R0, 0xff000000);  // rotated immediate
+    EXPECT_EQ(a.size_words(), 1u);
+  }
+  {
+    Assembler a(kBase);
+    a.MovImm(R0, 0xfffffffe);  // mvn
+    EXPECT_EQ(a.size_words(), 1u);
+  }
+  {
+    Assembler a(kBase);
+    a.MovImm(R0, 0x1234);  // movw only
+    EXPECT_EQ(a.size_words(), 1u);
+  }
+  {
+    Assembler a(kBase);
+    a.MovImm(R0, 0x12345678);  // movw + movt
+    EXPECT_EQ(a.size_words(), 2u);
+  }
+}
+
+TEST(AssemblerTest, MovImmValuesCorrectWhenExecuted) {
+  const word values[] = {0,          1,       0xff,       0x100,      0xff000000,
+                         0xfffffffe, 0x1234,  0x12345678, 0xdeadbeef, 0x80000000,
+                         0xffffffff, 0x8004,  0x3c3c3c3c};
+  Assembler a(kBase);
+  // Materialise each into r0 and store to a table at 0x3000.
+  a.MovImm(R1, 0x3000);
+  for (size_t i = 0; i < std::size(values); ++i) {
+    a.MovImm(R0, values[i]);
+    a.Str(R0, R1, static_cast<int32_t>(i * 4));
+  }
+  a.Svc();
+
+  MachineState m(8);
+  m.cpsr.mode = Mode::kMonitor;
+  m.SetScrNs(true);
+  m.cpsr.mode = Mode::kSupervisor;
+  const std::vector<word> code = a.Finish();
+  for (size_t i = 0; i < code.size(); ++i) {
+    m.mem.Write(kBase + static_cast<word>(i) * 4, code[i]);
+  }
+  m.pc = kBase;
+  ASSERT_EQ(RunUntilException(m, 1000), Exception::kSvc);
+  for (size_t i = 0; i < std::size(values); ++i) {
+    EXPECT_EQ(m.mem.Read(0x3000 + static_cast<word>(i) * 4), values[i]) << i;
+  }
+}
+
+TEST(AssemblerTest, NegativeLoadStoreOffsets) {
+  Assembler a(kBase);
+  a.MovImm(R0, 0x3010);
+  a.MovImm(R1, 77);
+  a.Str(R1, R0, -16);
+  a.Ldr(R2, R0, -16);
+  a.Svc();
+  MachineState m(8);
+  m.cpsr.mode = Mode::kMonitor;
+  m.SetScrNs(true);
+  m.cpsr.mode = Mode::kSupervisor;
+  const std::vector<word> code = a.Finish();
+  for (size_t i = 0; i < code.size(); ++i) {
+    m.mem.Write(kBase + static_cast<word>(i) * 4, code[i]);
+  }
+  m.pc = kBase;
+  ASSERT_EQ(RunUntilException(m, 100), Exception::kSvc);
+  EXPECT_EQ(m.mem.Read(0x3000), 77u);
+  EXPECT_EQ(m.r[2], 77u);
+}
+
+TEST(AssemblerTest, EveryEmittedWordDecodes) {
+  Assembler a(kBase);
+  Assembler::Label l = a.NewLabel();
+  a.Bind(l);
+  a.MovImm(R0, 0xabcdef01);
+  a.Add(R1, R0, 4u);
+  a.Sub(R2, R1, R0);
+  a.Mul(R3, R1, R2);
+  a.And(R4, R1, 0xf0u);
+  a.Orr(R5, R4, R1);
+  a.Eor(R6, R5, R4);
+  a.Bic(R7, R6, 1u);
+  a.Mvn(R8, R7);
+  a.Lsl(R9, R8, 3);
+  a.Asr(R10, R9, 2);
+  a.Cmp(R10, R9);
+  a.Tst(R10, 1u);
+  a.Adds(R1, R1, R2);
+  a.Adc(R2, R2, R3);
+  a.Subs(R3, R3, 1u);
+  a.Sbc(R4, R4, R5);
+  a.Rsb(R5, R5, 0u);
+  a.Ldr(R6, R0, 8);
+  a.Str(R6, R0, 12);
+  a.Ldrb(R7, R0, 1);
+  a.Strb(R7, R0, 2);
+  a.LdrReg(R8, R0, R1);
+  a.StrReg(R8, R0, R1);
+  a.Ldmia(R0, 0x6);
+  a.Stmia(R0, 0x6, true);
+  a.Push(0xf0);
+  a.Pop(0xf0);
+  a.B(l, Cond::kNe);
+  a.Bl(l);
+  a.Bx(LR);
+  a.Svc(7);
+  a.Smc(2);
+  a.MrsCpsr(R11);
+  a.MsrCpsr(R11);
+  const std::vector<word> code = a.Finish();
+  for (size_t i = 0; i < code.size(); ++i) {
+    EXPECT_TRUE(Decode(code[i]).has_value()) << "word " << i << " = 0x" << std::hex << code[i];
+  }
+}
+
+TEST(AssemblerDeathTest, UnencodableImmediateAsserts) {
+  EXPECT_DEATH(
+      {
+        Assembler a(kBase);
+        a.Add(R0, R0, 0x12345678u);
+      },
+      "immediate");
+}
+
+TEST(AssemblerDeathTest, OversizeOffsetAsserts) {
+  EXPECT_DEATH(
+      {
+        Assembler a(kBase);
+        a.Ldr(R0, R1, 0x1000);
+      },
+      "offset");
+}
+
+}  // namespace
+}  // namespace komodo::arm

@@ -1,0 +1,501 @@
+// Interpreter semantics: ALU behaviour and flags, memory access, branches,
+// traps, interrupts and exception plumbing. Programs run flat-mapped in the
+// normal world (no page tables) unless stated.
+#include "src/arm/execute.h"
+
+#include <gtest/gtest.h>
+
+#include "src/arm/assembler.h"
+
+namespace komodo::arm {
+namespace {
+
+constexpr vaddr kCodeBase = 0x2000;
+
+// Loads a program at kCodeBase in insecure RAM and prepares supervisor-mode
+// normal-world execution.
+MachineState MakeMachine(const std::vector<word>& code) {
+  MachineState m(16);
+  m.cpsr.mode = Mode::kMonitor;
+  m.SetScrNs(true);
+  m.cpsr.mode = Mode::kSupervisor;
+  for (size_t i = 0; i < code.size(); ++i) {
+    m.mem.Write(kCodeBase + static_cast<word>(i) * kWordSize, code[i]);
+  }
+  m.pc = kCodeBase;
+  m.vbar_secure = kDirectMapVbase + kMonitorBase + 0x100;
+  m.vbar_monitor = kDirectMapVbase + kMonitorBase + 0x200;
+  return m;
+}
+
+// Runs until the first SVC; returns machine for inspection.
+MachineState RunToSvc(const std::vector<word>& code) {
+  MachineState m = MakeMachine(code);
+  const std::optional<Exception> exc = RunUntilException(m, 10000);
+  EXPECT_EQ(exc, Exception::kSvc);
+  return m;
+}
+
+TEST(ExecuteTest, MovAddSubImmediates) {
+  Assembler a(kCodeBase);
+  a.MovImm(R0, 41);
+  a.Add(R0, R0, 1u);
+  a.MovImm(R1, 100);
+  a.Sub(R2, R1, 58u);
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[0], 42u);
+  EXPECT_EQ(m.r[2], 42u);
+}
+
+TEST(ExecuteTest, WideImmediatesViaMovwMovt) {
+  Assembler a(kCodeBase);
+  a.MovImm(R3, 0xdeadbeef);
+  a.MovImm(R4, 0x12345678);
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[3], 0xdeadbeefu);
+  EXPECT_EQ(m.r[4], 0x12345678u);
+}
+
+TEST(ExecuteTest, MvnEncodingForInvertedImmediates) {
+  Assembler a(kCodeBase);
+  a.MovImm(R0, 0xffffffff);
+  a.MovImm(R1, 0xfffffff0);
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[0], 0xffffffffu);
+  EXPECT_EQ(m.r[1], 0xfffffff0u);
+}
+
+TEST(ExecuteTest, LogicalAndShiftOps) {
+  Assembler a(kCodeBase);
+  a.MovImm(R0, 0xf0);
+  a.MovImm(R1, 0x0f);
+  a.Orr(R2, R0, R1);   // 0xff
+  a.And(R3, R2, 0x3c); // 0x3c
+  a.Eor(R4, R2, R3);   // 0xc3
+  a.Bic(R5, R2, 0x0f); // 0xf0
+  a.Lsl(R6, R2, 8);    // 0xff00
+  a.Lsr(R7, R6, 4);    // 0x0ff0
+  a.Asr(R8, R6, 4);    // 0x0ff0 (positive)
+  a.Ror(R9, R2, 8);    // 0xff000000
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[2], 0xffu);
+  EXPECT_EQ(m.r[3], 0x3cu);
+  EXPECT_EQ(m.r[4], 0xc3u);
+  EXPECT_EQ(m.r[5], 0xf0u);
+  EXPECT_EQ(m.r[6], 0xff00u);
+  EXPECT_EQ(m.r[7], 0x0ff0u);
+  EXPECT_EQ(m.r[8], 0x0ff0u);
+  EXPECT_EQ(m.r[9], 0xff000000u);
+}
+
+TEST(ExecuteTest, AsrSignExtends) {
+  Assembler a(kCodeBase);
+  a.MovImm(R0, 0x80000000);
+  a.Asr(R1, R0, 4);
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[1], 0xf8000000u);
+}
+
+TEST(ExecuteTest, MultiplyAndFlags) {
+  Assembler a(kCodeBase);
+  a.MovImm(R0, 7);
+  a.MovImm(R1, 6);
+  a.Mul(R2, R0, R1);
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[2], 42u);
+}
+
+TEST(ExecuteTest, CarryChainWith64BitAdd) {
+  // 0xffffffff + 1 with carry into the high word.
+  Assembler a(kCodeBase);
+  a.MovImm(R0, 0xffffffff);  // low a
+  a.MovImm(R1, 0);           // high a
+  a.MovImm(R2, 1);           // low b
+  a.MovImm(R3, 0);           // high b
+  a.Adds(R4, R0, R2);
+  a.Adc(R5, R1, R3);
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[4], 0u);
+  EXPECT_EQ(m.r[5], 1u);
+}
+
+TEST(ExecuteTest, CmpSetsFlagsAndConditionalExecution) {
+  Assembler a(kCodeBase);
+  a.MovImm(R0, 5);
+  a.Cmp(R0, 5u);
+  a.MovImm(R1, 1, Cond::kEq);
+  a.MovImm(R2, 1, Cond::kNe);  // skipped
+  a.Cmp(R0, 9u);
+  a.MovImm(R3, 1, Cond::kLt);
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[1], 1u);
+  EXPECT_EQ(m.r[2], 0u);
+  EXPECT_EQ(m.r[3], 1u);
+}
+
+TEST(ExecuteTest, SubsOverflowAndNegative) {
+  Assembler a(kCodeBase);
+  a.MovImm(R0, 0);
+  a.Subs(R1, R0, 1u);  // 0 - 1 = -1: N set, C clear (borrow)
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[1], 0xffffffffu);
+  EXPECT_TRUE(m.cpsr.n);
+  EXPECT_FALSE(m.cpsr.c);
+  EXPECT_FALSE(m.cpsr.v);
+}
+
+TEST(ExecuteTest, LoadStoreWordAndByte) {
+  Assembler a(kCodeBase);
+  a.MovImm(R0, 0x3000);
+  a.MovImm(R1, 0xcafe1234);
+  a.Str(R1, R0, 0);
+  a.Ldr(R2, R0, 0);
+  a.Ldrb(R3, R0, 1);   // 0x12.. little-endian byte 1 = 0x12
+  a.MovImm(R4, 0x99);
+  a.Strb(R4, R0, 2);
+  a.Ldr(R5, R0, 0);
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[2], 0xcafe1234u);
+  EXPECT_EQ(m.r[3], 0x12u);
+  EXPECT_EQ(m.r[5], 0xca991234u);
+}
+
+TEST(ExecuteTest, LoadStoreRegisterOffset) {
+  Assembler a(kCodeBase);
+  a.MovImm(R0, 0x3000);
+  a.MovImm(R1, 8);
+  a.MovImm(R2, 77);
+  a.StrReg(R2, R0, R1);
+  a.LdrReg(R3, R0, R1);
+  a.Ldr(R4, R0, 8);
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[3], 77u);
+  EXPECT_EQ(m.r[4], 77u);
+}
+
+TEST(ExecuteTest, BranchLoopAndBl) {
+  Assembler a(kCodeBase);
+  Assembler::Label loop = a.NewLabel();
+  a.MovImm(R0, 0);
+  a.MovImm(R1, 10);
+  a.Bind(loop);
+  a.Add(R0, R0, 3u);
+  a.Subs(R1, R1, 1u);
+  a.B(loop, Cond::kNe);
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[0], 30u);
+}
+
+TEST(ExecuteTest, BlSetsLinkRegisterAndBxReturns) {
+  Assembler a(kCodeBase);
+  Assembler::Label func = a.NewLabel();
+  Assembler::Label done = a.NewLabel();
+  a.MovImm(R0, 1);
+  a.Bl(func);
+  a.Add(R0, R0, 100u);  // executed after return
+  a.B(done);
+  a.Bind(func);
+  a.Add(R0, R0, 10u);
+  a.Bx(LR);
+  a.Bind(done);
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[0], 111u);
+}
+
+TEST(ExecuteTest, UnalignedWordAccessFaults) {
+  Assembler a(kCodeBase);
+  a.MovImm(R0, 0x3001);
+  a.Ldr(R1, R0, 0);
+  a.Svc();
+  MachineState m = MakeMachine(a.Finish());
+  EXPECT_EQ(RunUntilException(m, 100), Exception::kDataAbort);
+  EXPECT_EQ(m.cpsr.mode, Mode::kAbort);
+}
+
+TEST(ExecuteTest, NormalWorldCannotTouchSecureMemory) {
+  // The TrustZone filter turns normal-world accesses to the monitor image or
+  // secure pages into aborts (§3.2).
+  for (word target : {kMonitorBase, kSecurePagesBase}) {
+    Assembler a(kCodeBase);
+    a.MovImm(R0, target);
+    a.Ldr(R1, R0, 0);
+    a.Svc();
+    MachineState m = MakeMachine(a.Finish());
+    EXPECT_EQ(RunUntilException(m, 100), Exception::kDataAbort) << std::hex << target;
+  }
+}
+
+TEST(ExecuteTest, UndefinedInstructionTrapsToUndMode) {
+  MachineState m = MakeMachine({0xe7f000f0});
+  EXPECT_EQ(RunUntilException(m, 10), Exception::kUndefined);
+  EXPECT_EQ(m.cpsr.mode, Mode::kUndefined);
+  EXPECT_EQ(m.lr_banked[static_cast<size_t>(Mode::kUndefined)], kCodeBase + 4);
+}
+
+TEST(ExecuteTest, SvcBanksReturnStateAndMasksIrq) {
+  Assembler a(kCodeBase);
+  a.MovImm(R0, 7);
+  a.Svc(42);
+  MachineState m = MakeMachine(a.Finish());
+  m.cpsr.irq_masked = false;
+  EXPECT_EQ(RunUntilException(m, 10), Exception::kSvc);
+  EXPECT_EQ(m.cpsr.mode, Mode::kSupervisor);
+  EXPECT_TRUE(m.cpsr.irq_masked);
+  // lr_svc points after the svc; spsr_svc holds the pre-trap cpsr.
+  EXPECT_EQ(m.lr_banked[static_cast<size_t>(Mode::kSupervisor)], kCodeBase + 8);
+  EXPECT_FALSE(m.Spsr().irq_masked);
+}
+
+TEST(ExecuteTest, SmcFromSupervisorEntersMonitorMode) {
+  Assembler a(kCodeBase);
+  a.Smc();
+  MachineState m = MakeMachine(a.Finish());
+  EXPECT_EQ(RunUntilException(m, 10), Exception::kSmc);
+  EXPECT_EQ(m.cpsr.mode, Mode::kMonitor);
+  EXPECT_EQ(m.CurrentWorld(), World::kSecure);  // monitor mode is always secure
+  EXPECT_TRUE(m.cpsr.fiq_masked);
+}
+
+TEST(ExecuteTest, PendingIrqTakenWhenUnmasked) {
+  Assembler a(kCodeBase);
+  Assembler::Label loop = a.NewLabel();
+  a.Bind(loop);
+  a.Add(R0, R0, 1u);
+  a.B(loop);
+  MachineState m = MakeMachine(a.Finish());
+  m.cpsr.irq_masked = false;
+  // Let it spin, then inject.
+  EXPECT_EQ(RunUntilException(m, 100), std::nullopt);
+  m.pending_irq = true;
+  EXPECT_EQ(RunUntilException(m, 10), Exception::kIrq);
+  EXPECT_EQ(m.cpsr.mode, Mode::kIrq);
+  EXPECT_FALSE(m.pending_irq);
+}
+
+TEST(ExecuteTest, MaskedIrqStaysPending) {
+  Assembler a(kCodeBase);
+  Assembler::Label loop = a.NewLabel();
+  a.Bind(loop);
+  a.B(loop);
+  MachineState m = MakeMachine(a.Finish());
+  m.cpsr.irq_masked = true;
+  m.pending_irq = true;
+  EXPECT_EQ(RunUntilException(m, 100), std::nullopt);
+  EXPECT_TRUE(m.pending_irq);
+}
+
+TEST(ExecuteTest, FiqHasPriorityOverIrq) {
+  Assembler a(kCodeBase);
+  Assembler::Label loop = a.NewLabel();
+  a.Bind(loop);
+  a.B(loop);
+  MachineState m = MakeMachine(a.Finish());
+  m.cpsr.irq_masked = false;
+  m.cpsr.fiq_masked = false;
+  m.pending_irq = true;
+  m.pending_fiq = true;
+  EXPECT_EQ(RunUntilException(m, 10), Exception::kFiq);
+}
+
+TEST(ExecuteTest, MovsPcLrReturnsFromException) {
+  // svc, then the "handler" (we fake it) returns with MOVS PC, LR.
+  Assembler a(kCodeBase);
+  a.MovImm(R0, 1);
+  a.Svc();
+  a.Add(R0, R0, 1u);  // must execute after the return
+  a.Svc(99);
+  MachineState m = MakeMachine(a.Finish());
+  ASSERT_EQ(RunUntilException(m, 10), Exception::kSvc);
+  // Handler: return to lr_svc via exception return.
+  m.ExceptionReturn(m.lr_banked[static_cast<size_t>(Mode::kSupervisor)]);
+  EXPECT_EQ(m.cpsr.mode, Mode::kSupervisor);  // spsr restored the OS mode
+  ASSERT_EQ(RunUntilException(m, 10), Exception::kSvc);
+  EXPECT_EQ(m.r[0], 2u);
+}
+
+TEST(ExecuteTest, CyclesAccumulate) {
+  Assembler a(kCodeBase);
+  a.MovImm(R0, 1);
+  a.Add(R0, R0, 1u);
+  a.Svc();
+  MachineState m = MakeMachine(a.Finish());
+  const uint64_t before = m.cycles.total();
+  RunUntilException(m, 10);
+  EXPECT_GT(m.cycles.total(), before);
+}
+
+TEST(ExecuteTest, PushPopRoundTrip) {
+  Assembler a(kCodeBase);
+  a.MovImm(SP, 0x4000);
+  a.MovImm(R4, 11);
+  a.MovImm(R5, 22);
+  a.MovImm(R6, 33);
+  a.Push((1u << R4) | (1u << R5) | (1u << R6));
+  a.MovImm(R4, 0);
+  a.MovImm(R5, 0);
+  a.MovImm(R6, 0);
+  a.Pop((1u << R4) | (1u << R5) | (1u << R6));
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[4], 11u);
+  EXPECT_EQ(m.r[5], 22u);
+  EXPECT_EQ(m.r[6], 33u);
+  EXPECT_EQ(m.ReadReg(SP), 0x4000u);  // balanced
+}
+
+TEST(ExecuteTest, PushStoresDescendingAscendingRegisterOrder) {
+  Assembler a(kCodeBase);
+  a.MovImm(SP, 0x4000);
+  a.MovImm(R1, 0x111);
+  a.MovImm(R7, 0x777);
+  a.Push((1u << R1) | (1u << R7));
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  // Lowest register at the lowest address.
+  EXPECT_EQ(m.mem.Read(0x4000 - 8), 0x111u);
+  EXPECT_EQ(m.mem.Read(0x4000 - 4), 0x777u);
+  EXPECT_EQ(m.ReadReg(SP), 0x4000u - 8);
+}
+
+TEST(ExecuteTest, LdmiaStmiaWithWriteback) {
+  Assembler a(kCodeBase);
+  a.MovImm(R0, 0x3000);
+  a.MovImm(R2, 5);
+  a.MovImm(R3, 6);
+  a.Stmia(R0, (1u << R2) | (1u << R3), /*writeback=*/true);
+  a.MovImm(R1, 0x3000);
+  a.Ldmia(R1, (1u << R4) | (1u << R5));
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[0], 0x3008u);  // advanced past two words
+  EXPECT_EQ(m.r[1], 0x3000u);  // no writeback requested
+  EXPECT_EQ(m.r[4], 5u);
+  EXPECT_EQ(m.r[5], 6u);
+}
+
+TEST(ExecuteTest, PopIntoPcReturnsFromCall) {
+  Assembler a(kCodeBase);
+  Assembler::Label func = a.NewLabel();
+  Assembler::Label done = a.NewLabel();
+  a.MovImm(SP, 0x4000);
+  a.MovImm(R0, 5);
+  a.Bl(func);
+  a.Add(R0, R0, 100u);
+  a.B(done);
+  a.Bind(func);
+  a.Push((1u << R4) | (1u << LR));
+  a.MovImm(R4, 0);  // clobber a callee-saved register...
+  a.Add(R0, R0, 10u);
+  a.Pop((1u << R4) | (1u << PC));  // ...and return, restoring it
+  a.Bind(done);
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  EXPECT_EQ(m.r[0], 115u);
+}
+
+TEST(ExecuteTest, BlockTransferFaultsOnUnmappedAddress) {
+  Assembler a(kCodeBase);
+  a.MovImm(R0, kMonitorBase);  // secure memory: normal world faults
+  a.Ldmia(R0, 0x000f);
+  a.Svc();
+  MachineState m = MakeMachine(a.Finish());
+  EXPECT_EQ(RunUntilException(m, 100), Exception::kDataAbort);
+}
+
+// Runs `code` as secure-privileged instructions placed in monitor RAM and
+// fetched through the direct map.
+MachineState RunSecurePrivileged(const std::vector<word>& code) {
+  MachineState m(16);
+  m.cpsr.mode = Mode::kSupervisor;
+  m.scr_ns = false;
+  for (size_t i = 0; i < code.size(); ++i) {
+    m.mem.Write(kMonitorBase + 0x600 + static_cast<word>(i) * kWordSize, code[i]);
+  }
+  m.pc = kDirectMapVbase + kMonitorBase + 0x600;
+  return m;
+}
+
+TEST(ExecuteTest, Cp15TtbrAndTlbFlush) {
+  Assembler a(kDirectMapVbase + kMonitorBase + 0x600);
+  a.MovImm(R0, kSecurePagesBase);
+  a.WriteTtbr0(R0);   // marks TLB inconsistent
+  a.ReadTtbr0(R1);
+  a.TlbiAll(R2);      // flush restores consistency
+  a.Svc();
+  MachineState m = RunSecurePrivileged(a.Finish());
+  ASSERT_EQ(RunUntilException(m, 20), Exception::kSvc);
+  EXPECT_EQ(m.ttbr0, kSecurePagesBase);
+  EXPECT_EQ(m.r[1], kSecurePagesBase);
+  EXPECT_TRUE(m.tlb_consistent);
+}
+
+TEST(ExecuteTest, Cp15TtbrWriteMarksTlbInconsistent) {
+  Assembler a(kDirectMapVbase + kMonitorBase + 0x600);
+  a.MovImm(R0, kSecurePagesBase);
+  a.WriteTtbr0(R0);
+  a.Svc();
+  MachineState m = RunSecurePrivileged(a.Finish());
+  ASSERT_EQ(RunUntilException(m, 20), Exception::kSvc);
+  EXPECT_FALSE(m.tlb_consistent);
+}
+
+TEST(ExecuteTest, Cp15ScrRequiresMonitorMode) {
+  Assembler a(kDirectMapVbase + kMonitorBase + 0x600);
+  a.MovImm(R0, 1);
+  a.WriteScr(R0);
+  MachineState m = RunSecurePrivileged(a.Finish());  // supervisor, not monitor
+  EXPECT_EQ(RunUntilException(m, 20), Exception::kUndefined);
+
+  // From monitor mode it works and switches worlds.
+  Assembler b(kDirectMapVbase + kMonitorBase + 0x600);
+  b.MovImm(R0, 1);
+  b.WriteScr(R0);
+  b.ReadScr(R1);
+  b.Svc();
+  MachineState m2 = RunSecurePrivileged(b.Finish());
+  m2.cpsr.mode = Mode::kMonitor;
+  ASSERT_EQ(RunUntilException(m2, 20), Exception::kSvc);
+  EXPECT_EQ(m2.r[1], 1u);
+  EXPECT_TRUE(m2.scr_ns);
+}
+
+TEST(ExecuteTest, Cp15ForbiddenFromUserAndNormalWorld) {
+  // Normal-world supervisor: CP15 access is outside the model -> undefined.
+  Assembler a(kCodeBase);
+  a.ReadTtbr0(R0);
+  MachineState m = MakeMachine(a.Finish());  // normal world supervisor
+  EXPECT_EQ(RunUntilException(m, 20), Exception::kUndefined);
+}
+
+TEST(ExecuteTest, Cp15UnknownRegisterUndefined) {
+  Assembler a(kDirectMapVbase + kMonitorBase + 0x600);
+  a.Mrc(R0, 0, 5, 0, 0);  // DFSR — unmodelled
+  MachineState m = RunSecurePrivileged(a.Finish());
+  EXPECT_EQ(RunUntilException(m, 20), Exception::kUndefined);
+}
+
+TEST(ExecuteTest, MrsMsrUserFlagsOnly) {
+  Assembler a(kCodeBase);
+  a.MrsCpsr(R0);
+  a.Svc();
+  MachineState m = RunToSvc(a.Finish());
+  Mode mode;
+  ASSERT_TRUE(DecodeMode(m.r[0], &mode));
+  EXPECT_EQ(mode, Mode::kSupervisor);
+}
+
+}  // namespace
+}  // namespace komodo::arm

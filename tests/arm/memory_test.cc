@@ -1,0 +1,85 @@
+#include "src/arm/memory.h"
+
+#include <gtest/gtest.h>
+
+namespace komodo::arm {
+namespace {
+
+TEST(MemoryTest, RegionBoundaries) {
+  PhysMemory mem(256);
+  EXPECT_EQ(mem.RegionOf(kInsecureBase), MemRegion::kInsecure);
+  EXPECT_EQ(mem.RegionOf(kInsecureBase + kInsecureSize - 4), MemRegion::kInsecure);
+  EXPECT_EQ(mem.RegionOf(kInsecureBase + kInsecureSize), MemRegion::kUnmapped);
+  EXPECT_EQ(mem.RegionOf(kMonitorBase), MemRegion::kMonitor);
+  EXPECT_EQ(mem.RegionOf(kMonitorBase + kMonitorSize - 4), MemRegion::kMonitor);
+  EXPECT_EQ(mem.RegionOf(kSecurePagesBase), MemRegion::kSecurePages);
+  EXPECT_EQ(mem.RegionOf(kSecurePagesBase + 256 * kPageSize - 4), MemRegion::kSecurePages);
+  EXPECT_EQ(mem.RegionOf(kSecurePagesBase + 256 * kPageSize), MemRegion::kUnmapped);
+}
+
+TEST(MemoryTest, SecureRegionSizeTracksConfiguredPages) {
+  PhysMemory small(8);
+  EXPECT_EQ(small.RegionOf(kSecurePagesBase + 8 * kPageSize - 4), MemRegion::kSecurePages);
+  EXPECT_EQ(small.RegionOf(kSecurePagesBase + 8 * kPageSize), MemRegion::kUnmapped);
+}
+
+TEST(MemoryTest, ReadWriteRoundTripAcrossRegions) {
+  PhysMemory mem(16);
+  mem.Write(kInsecureBase + 0x100, 0x11111111);
+  mem.Write(kMonitorBase + 0x100, 0x22222222);
+  mem.Write(kSecurePagesBase + 0x100, 0x33333333);
+  EXPECT_EQ(mem.Read(kInsecureBase + 0x100), 0x11111111u);
+  EXPECT_EQ(mem.Read(kMonitorBase + 0x100), 0x22222222u);
+  EXPECT_EQ(mem.Read(kSecurePagesBase + 0x100), 0x33333333u);
+}
+
+TEST(MemoryTest, PageHelpers) {
+  PhysMemory mem(16);
+  word page[kWordsPerPage];
+  for (word i = 0; i < kWordsPerPage; ++i) {
+    page[i] = i * 3 + 1;
+  }
+  mem.WritePage(kSecurePagesBase, page);
+  word readback[kWordsPerPage];
+  mem.ReadPage(kSecurePagesBase, readback);
+  for (word i = 0; i < kWordsPerPage; ++i) {
+    ASSERT_EQ(readback[i], i * 3 + 1);
+  }
+  mem.ZeroPage(kSecurePagesBase);
+  mem.ReadPage(kSecurePagesBase, readback);
+  for (word i = 0; i < kWordsPerPage; ++i) {
+    ASSERT_EQ(readback[i], 0u);
+  }
+}
+
+TEST(MemoryTest, PageBytesLittleEndian) {
+  PhysMemory mem(16);
+  mem.Write(kSecurePagesBase, 0x04030201);
+  uint8_t bytes[kPageSize];
+  mem.ReadPageBytes(kSecurePagesBase, bytes);
+  EXPECT_EQ(bytes[0], 1);
+  EXPECT_EQ(bytes[1], 2);
+  EXPECT_EQ(bytes[2], 3);
+  EXPECT_EQ(bytes[3], 4);
+}
+
+TEST(MemoryTest, InsecurePagePredicateRejectsMonitorAndSecure) {
+  PhysMemory mem(16);
+  EXPECT_TRUE(IsInsecurePageAddr(mem, 0x10000));
+  EXPECT_FALSE(IsInsecurePageAddr(mem, kMonitorBase));
+  EXPECT_FALSE(IsInsecurePageAddr(mem, kSecurePagesBase));
+  EXPECT_FALSE(IsInsecurePageAddr(mem, kMonitorBase + kPageSize));
+  EXPECT_FALSE(IsInsecurePageAddr(mem, 0x10001));  // unaligned
+  EXPECT_FALSE(IsInsecurePageAddr(mem, 0xf000'0000));  // unmapped
+}
+
+TEST(MemoryTest, EqualityDetectsSingleWordChange) {
+  PhysMemory a(8);
+  PhysMemory b(8);
+  EXPECT_EQ(a, b);
+  b.Write(kSecurePagesBase + 8, 1);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace komodo::arm

@@ -1,0 +1,80 @@
+#include "src/arm/psr.h"
+
+#include <gtest/gtest.h>
+
+namespace komodo::arm {
+namespace {
+
+TEST(PsrTest, EncodeDecodeRoundTripAllModes) {
+  const Mode modes[] = {Mode::kUser,  Mode::kFiq,       Mode::kIrq,    Mode::kSupervisor,
+                        Mode::kAbort, Mode::kUndefined, Mode::kMonitor};
+  for (Mode m : modes) {
+    for (int flags = 0; flags < 64; ++flags) {
+      Psr p;
+      p.mode = m;
+      p.n = flags & 1;
+      p.z = flags & 2;
+      p.c = flags & 4;
+      p.v = flags & 8;
+      p.irq_masked = flags & 16;
+      p.fiq_masked = flags & 32;
+      EXPECT_EQ(Psr::Decode(p.Encode()), p) << ModeName(m) << " flags=" << flags;
+    }
+  }
+}
+
+TEST(PsrTest, ArchitecturalModeEncodings) {
+  EXPECT_EQ(ModeEncoding(Mode::kUser), 0b10000u);
+  EXPECT_EQ(ModeEncoding(Mode::kFiq), 0b10001u);
+  EXPECT_EQ(ModeEncoding(Mode::kIrq), 0b10010u);
+  EXPECT_EQ(ModeEncoding(Mode::kSupervisor), 0b10011u);
+  EXPECT_EQ(ModeEncoding(Mode::kMonitor), 0b10110u);
+  EXPECT_EQ(ModeEncoding(Mode::kAbort), 0b10111u);
+  EXPECT_EQ(ModeEncoding(Mode::kUndefined), 0b11011u);
+}
+
+TEST(PsrTest, UnmodelledModeEncodingsRejected) {
+  Mode out;
+  EXPECT_FALSE(DecodeMode(0b11111, &out));  // system mode
+  EXPECT_FALSE(DecodeMode(0b11010, &out));  // hyp mode
+  EXPECT_FALSE(DecodeMode(0b00000, &out));
+}
+
+TEST(PsrTest, DecodePreservesModeOnGarbage) {
+  // Decoding an invalid mode field keeps the default mode rather than
+  // fabricating one.
+  const Psr p = Psr::Decode(0xffffffff & ~0x1fu);
+  EXPECT_EQ(p.mode, Mode::kSupervisor);
+  EXPECT_TRUE(p.n && p.z && p.c && p.v);
+}
+
+TEST(CondTest, FlagSemantics) {
+  Psr p;
+  p.z = true;
+  EXPECT_TRUE(CondPasses(Cond::kEq, p));
+  EXPECT_FALSE(CondPasses(Cond::kNe, p));
+  p.z = false;
+  p.c = true;
+  EXPECT_TRUE(CondPasses(Cond::kCs, p));
+  EXPECT_TRUE(CondPasses(Cond::kHi, p));  // C && !Z
+  p.n = true;
+  p.v = false;
+  EXPECT_TRUE(CondPasses(Cond::kLt, p));  // N != V
+  EXPECT_FALSE(CondPasses(Cond::kGe, p));
+  p.v = true;
+  EXPECT_TRUE(CondPasses(Cond::kGe, p));
+  EXPECT_TRUE(CondPasses(Cond::kGt, p));  // !Z && N==V
+  EXPECT_TRUE(CondPasses(Cond::kAl, Psr{}));
+}
+
+TEST(CondTest, LsIsComplementOfHi) {
+  for (int i = 0; i < 4; ++i) {
+    Psr p;
+    p.c = i & 1;
+    p.z = i & 2;
+    EXPECT_NE(CondPasses(Cond::kHi, p), CondPasses(Cond::kLs, p));
+  }
+}
+
+}  // namespace
+}  // namespace komodo::arm

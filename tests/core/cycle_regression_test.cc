@@ -1,0 +1,106 @@
+// Cycle-model regression guards: the Table 3 / §8.1 shapes the benchmarks
+// report are locked in as ranges here, so a refactor that silently breaks the
+// cost accounting fails the suite rather than just skewing EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/arm/assembler.h"
+#include "src/enclave/native_runtime.h"
+#include "src/os/world.h"
+#include "src/sgx/sgx_model.h"
+
+namespace komodo {
+namespace {
+
+class ExitProgram : public enclave::NativeProgram {
+ public:
+  enclave::UserAction Run(enclave::UserContext&) override {
+    return enclave::UserAction::Exit(0);
+  }
+};
+
+TEST(CycleRegressionTest, NullSmcStaysTrivial) {
+  os::World w{64};
+  w.os.GetPhysPages();
+  const uint64_t before = w.machine.cycles.total();
+  w.os.GetPhysPages();
+  const uint64_t cycles = w.machine.cycles.total() - before;
+  EXPECT_GE(cycles, 60u);
+  EXPECT_LE(cycles, 250u);  // paper: 123
+}
+
+TEST(CycleRegressionTest, CrossingStaysWellBelowSgx) {
+  os::World w{64};
+  enclave::NativeRuntime runtime(w.monitor);
+  os::Os::BuildOptions opts;
+  os::EnclaveHandle e;
+  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e), kErrSuccess);
+  runtime.Register(e.l1pt, std::make_shared<ExitProgram>());
+  w.os.Enter(e.thread);
+  const uint64_t before = w.machine.cycles.total();
+  w.os.Enter(e.thread);
+  const uint64_t crossing = w.machine.cycles.total() - before;
+  EXPECT_GE(crossing, 250u);
+  EXPECT_LE(crossing, 1500u);  // paper: 738
+  // The §8.1 headline: at least ~5x under SGX's 7,100-cycle crossing.
+  EXPECT_GT(7100.0 / static_cast<double>(crossing), 5.0);
+}
+
+TEST(CycleRegressionTest, AttestDominatedByFiveShaBlocks) {
+  os::World w{64};
+  os::Os::BuildOptions opts;
+  os::EnclaveHandle e;
+  // Enclave issuing a single Attest then exiting, in A32.
+  arm::Assembler a(os::kEnclaveCodeVa);
+  a.MovImm(arm::R0, kSvcAttest);
+  a.MovImm(arm::R1, os::kEnclaveDataVa);
+  a.MovImm(arm::R2, os::kEnclaveDataVa + 32);
+  a.Svc();
+  a.MovImm(arm::R1, 0);
+  a.MovImm(arm::R0, kSvcExit);
+  a.Svc();
+  ASSERT_EQ(w.os.BuildEnclave(a.Finish(), &opts, &e), kErrSuccess);
+  w.os.Enter(e.thread);
+  const uint64_t before = w.machine.cycles.total();
+  w.os.Enter(e.thread);
+  const uint64_t with_attest = w.machine.cycles.total() - before;
+  // 5 SHA blocks ≈ 11.5k plus the crossing; the paper reports 12,411 for the
+  // SVC alone.
+  EXPECT_GE(with_attest, 11000u);
+  EXPECT_LE(with_attest, 20000u);
+}
+
+TEST(CycleRegressionTest, MapDataDominatedByZeroFill) {
+  os::World w{64};
+  os::Os::BuildOptions opts;
+  os::EnclaveHandle e;
+  arm::Assembler a(os::kEnclaveCodeVa);
+  using namespace arm;
+  a.Mov(R7, R0);
+  a.MovImm(R0, kSvcMapData);
+  a.Mov(R1, R7);
+  a.MovImm(R2, MakeMapping(0x30000, kMapR | kMapW));
+  a.Svc();
+  a.MovImm(R1, 0);
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+  ASSERT_EQ(w.os.BuildEnclave(a.Finish(), &opts, &e), kErrSuccess);
+  const PageNr spare = w.os.AllocSecurePage();
+  ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
+  const uint64_t before = w.machine.cycles.total();
+  ASSERT_EQ(w.os.Enter(e.thread, spare).err, kErrSuccess);
+  const uint64_t cycles = w.machine.cycles.total() - before;
+  // Zero-fill alone is 1024 words * ~5 cycles; paper reports 5,826 for the
+  // SVC; our measurement includes the crossing.
+  EXPECT_GE(cycles, 5000u);
+  EXPECT_LE(cycles, 9000u);
+}
+
+TEST(CycleRegressionTest, SgxConstantsMatchCitedLatencies) {
+  sgx::SgxCosts costs;
+  EXPECT_EQ(costs.eenter + costs.eexit, 7100u);  // Orenbach et al. [66], §8.1
+}
+
+}  // namespace
+}  // namespace komodo

@@ -1,0 +1,215 @@
+// SGXv2-style dynamic memory management (§4, Dynamic allocation): AllocSpare
+// from the OS; MapData / UnmapData / InitL2PTable SVCs from the enclave.
+#include <gtest/gtest.h>
+
+#include "src/arm/assembler.h"
+#include "src/enclave/programs.h"
+#include "src/os/world.h"
+#include "src/spec/extract.h"
+#include "src/spec/invariants.h"
+
+namespace komodo {
+namespace {
+
+using os::EnclaveHandle;
+using os::SmcRet;
+using os::World;
+
+class DynMemTest : public ::testing::Test {
+ protected:
+  World w{64};
+
+  EnclaveHandle Build(const std::vector<word>& code) {
+    os::Os::BuildOptions opts;
+    EnclaveHandle e;
+    EXPECT_EQ(w.os.BuildEnclave(code, &opts, &e), kErrSuccess);
+    return e;
+  }
+};
+
+TEST_F(DynMemTest, MapWriteUnmapRoundTrip) {
+  const EnclaveHandle e = Build(enclave::DynMemProgram());
+  const PageNr spare = w.os.AllocSecurePage();
+  ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
+  const SmcRet r = w.os.Enter(e.thread, spare);
+  EXPECT_EQ(r.err, kErrSuccess);
+  EXPECT_EQ(r.val, 0u) << "enclave-reported step failure " << r.val;
+  // After UnmapData the page is spare again and reclaimable by the OS.
+  const spec::PageDb d = spec::ExtractPageDb(w.machine);
+  EXPECT_EQ(d[spare].type(), PageType::kSparePage);
+  EXPECT_EQ(w.os.Remove(spare).err, kErrSuccess);
+  EXPECT_TRUE(spec::ValidPageDb(spec::ExtractPageDb(w.machine)));
+}
+
+TEST_F(DynMemTest, MapDataZeroesThePage) {
+  // The spare page is dirtied by the OS before being given to the enclave;
+  // MapData must zero it (its contents are not measured).
+  const EnclaveHandle e = Build(enclave::DynMemProgram());
+  const PageNr spare = w.os.AllocSecurePage();
+  ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
+  // (The OS cannot write secure pages; dirty it via monitor-internal channel
+  // to simulate a recycled page: write directly in the simulated RAM.)
+  w.machine.mem.Write(PagePaddr(spare) + 64, 0xdeadbeef);
+
+  // A probe program: MapData then read the word at offset 64 and exit with it.
+  arm::Assembler a(os::kEnclaveCodeVa);
+  using namespace arm;
+  a.Mov(R7, R0);
+  a.MovImm(R0, kSvcMapData);
+  a.Mov(R1, R7);
+  a.MovImm(R2, MakeMapping(0x30000, kMapR | kMapW));
+  a.Svc();
+  a.MovImm(R4, 0x30000);
+  a.Ldr(R1, R4, 64);
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+  World fresh{64};
+  os::Os::BuildOptions opts;
+  EnclaveHandle probe;
+  ASSERT_EQ(fresh.os.BuildEnclave(a.Finish(), &opts, &probe), kErrSuccess);
+  const PageNr spare2 = fresh.os.AllocSecurePage();
+  ASSERT_EQ(fresh.os.AllocSpare(probe.addrspace, spare2).err, kErrSuccess);
+  fresh.machine.mem.Write(PagePaddr(spare2) + 64, 0xdeadbeef);
+  const SmcRet r = fresh.os.Enter(probe.thread, spare2);
+  ASSERT_EQ(r.err, kErrSuccess);
+  EXPECT_EQ(r.val, 0u) << "stale contents leaked through MapData";
+  (void)e;
+}
+
+TEST_F(DynMemTest, EnclaveCannotMapForeignSpare) {
+  // Spare pages belonging to another enclave are rejected.
+  const EnclaveHandle victim = Build(enclave::AddTwoProgram());
+  const EnclaveHandle attacker = Build(enclave::DynMemProgram());
+  const PageNr spare = w.os.AllocSecurePage();
+  ASSERT_EQ(w.os.AllocSpare(victim.addrspace, spare).err, kErrSuccess);
+  const SmcRet r = w.os.Enter(attacker.thread, spare);
+  EXPECT_EQ(r.err, kErrSuccess);
+  EXPECT_EQ(r.val, 1u);  // step 1 (MapData) failed inside the enclave
+}
+
+TEST_F(DynMemTest, EnclaveCannotMapArbitraryPages) {
+  // Data pages, page tables, even its own addrspace page are not spares.
+  const EnclaveHandle e = Build(enclave::DynMemProgram());
+  for (const PageNr target : {e.addrspace, e.l1pt, e.data_pages[0], e.thread}) {
+    const SmcRet r = w.os.Enter(e.thread, target);
+    EXPECT_EQ(r.err, kErrSuccess);
+    EXPECT_EQ(r.val, 1u) << "page " << target << " must not be mappable";
+  }
+}
+
+TEST_F(DynMemTest, OsCannotRemoveMappedDataPageUntilUnmapped) {
+  // Convert a spare to data (enclave maps it, doesn't unmap), then the OS
+  // tries to reclaim it: Remove must fail — and that failure is the allowed
+  // side channel of §6.2.
+  arm::Assembler a(os::kEnclaveCodeVa);
+  using namespace arm;
+  a.Mov(R7, R0);
+  a.MovImm(R0, kSvcMapData);
+  a.Mov(R1, R7);
+  a.MovImm(R2, MakeMapping(0x30000, kMapR | kMapW));
+  a.Svc();
+  a.Mov(R1, R0);
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+  os::Os::BuildOptions opts;
+  EnclaveHandle e;
+  ASSERT_EQ(w.os.BuildEnclave(a.Finish(), &opts, &e), kErrSuccess);
+  const PageNr spare = w.os.AllocSecurePage();
+  ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
+  ASSERT_EQ(w.os.Enter(e.thread, spare).val, kErrSuccess);
+
+  EXPECT_EQ(w.os.Remove(spare).err, kErrNotStopped);  // it's a data page now
+  const spec::PageDb d = spec::ExtractPageDb(w.machine);
+  EXPECT_EQ(d[spare].type(), PageType::kDataPage);
+  EXPECT_TRUE(spec::ValidPageDb(d));
+}
+
+TEST_F(DynMemTest, SvcInitL2TableExtendsAddressSpace) {
+  // Enclave grows its own page tables at runtime: InitL2PTable SVC on a
+  // spare, then MapData into the fresh 4 MB region.
+  arm::Assembler a(os::kEnclaveCodeVa);
+  using namespace arm;
+  Assembler::Label fail = a.NewLabel();
+  a.Mov(R7, R0);  // spare #1 (L2 table)
+  a.Mov(R8, R1);  // spare #2 (data)
+  a.MovImm(R0, kSvcInitL2Table);
+  a.Mov(R1, R7);
+  a.MovImm(R2, 1);  // cover [4 MB, 8 MB)
+  a.Svc();
+  a.Cmp(R0, 0u);
+  a.B(fail, Cond::kNe);
+  a.MovImm(R0, kSvcMapData);
+  a.Mov(R1, R8);
+  a.MovImm(R2, MakeMapping(0x0050'0000, kMapR | kMapW));  // 5 MB
+  a.Svc();
+  a.Cmp(R0, 0u);
+  a.B(fail, Cond::kNe);
+  a.MovImm(R4, 0x0050'0000);
+  a.MovImm(R5, 1234);
+  a.Str(R5, R4, 0);
+  a.Ldr(R1, R4, 0);
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+  a.Bind(fail);
+  a.MovImm(R1, 0xdead);
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+
+  os::Os::BuildOptions opts;
+  EnclaveHandle e;
+  ASSERT_EQ(w.os.BuildEnclave(a.Finish(), &opts, &e), kErrSuccess);
+  const PageNr spare_l2 = w.os.AllocSecurePage();
+  const PageNr spare_data = w.os.AllocSecurePage();
+  ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare_l2).err, kErrSuccess);
+  ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare_data).err, kErrSuccess);
+  const SmcRet r = w.os.Enter(e.thread, spare_l2, spare_data);
+  ASSERT_EQ(r.err, kErrSuccess);
+  EXPECT_EQ(r.val, 1234u);
+  const spec::PageDb d = spec::ExtractPageDb(w.machine);
+  EXPECT_EQ(d[spare_l2].type(), PageType::kL2PTable);
+  EXPECT_EQ(d[spare_data].type(), PageType::kDataPage);
+  EXPECT_TRUE(spec::ValidPageDb(d));
+}
+
+TEST_F(DynMemTest, DynamicAllocationInvisibleInMeasurement) {
+  // The measurement taken at Finalise is unaffected by later dynamic
+  // activity, so attestation still identifies the enclave (§4).
+  const EnclaveHandle e = Build(enclave::DynMemProgram());
+  const auto before =
+      spec::ExtractPageDb(w.machine)[e.addrspace].As<spec::AddrspacePage>().measurement;
+  const PageNr spare = w.os.AllocSecurePage();
+  ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
+  ASSERT_EQ(w.os.Enter(e.thread, spare).err, kErrSuccess);
+  const auto after =
+      spec::ExtractPageDb(w.machine)[e.addrspace].As<spec::AddrspacePage>().measurement;
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(DynMemTest, UnmapRequiresMatchingMapping) {
+  // UnmapData with a VA that doesn't map the page must fail.
+  arm::Assembler a(os::kEnclaveCodeVa);
+  using namespace arm;
+  a.Mov(R7, R0);
+  a.MovImm(R0, kSvcMapData);
+  a.Mov(R1, R7);
+  a.MovImm(R2, MakeMapping(0x30000, kMapR | kMapW));
+  a.Svc();
+  a.MovImm(R0, kSvcUnmapData);
+  a.Mov(R1, R7);
+  a.MovImm(R2, MakeMapping(0x31000, kMapR | kMapW));  // wrong VA
+  a.Svc();
+  a.Mov(R1, R0);  // expect an error code
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+  os::Os::BuildOptions opts;
+  EnclaveHandle e;
+  ASSERT_EQ(w.os.BuildEnclave(a.Finish(), &opts, &e), kErrSuccess);
+  const PageNr spare = w.os.AllocSecurePage();
+  ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
+  const SmcRet r = w.os.Enter(e.thread, spare);
+  ASSERT_EQ(r.err, kErrSuccess);
+  EXPECT_EQ(r.val, kErrInvalidMapping);
+}
+
+}  // namespace
+}  // namespace komodo

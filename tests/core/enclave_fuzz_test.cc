@@ -1,0 +1,208 @@
+// Enclave fuzzing: enclaves built from random (but decodable) instruction
+// streams and from raw random words. Whatever the enclave does — arithmetic
+// garbage, wild loads/stores, random SVCs, undefined encodings — the monitor
+// must return cleanly to the OS with sanitised registers, valid PageDB
+// invariants, and no access to anything outside the enclave's mappings.
+#include <gtest/gtest.h>
+
+#include "src/crypto/drbg.h"
+#include "src/os/world.h"
+#include "src/spec/extract.h"
+#include "src/spec/invariants.h"
+
+namespace komodo {
+namespace {
+
+using os::World;
+
+// Generates a random well-formed instruction (no SMC — that is undefined in
+// user mode anyway and tested elsewhere).
+word RandomInstruction(crypto::HashDrbg& drbg) {
+  using namespace arm;
+  Instruction insn;
+  insn.cond = static_cast<Cond>(drbg.Below(15));
+  switch (drbg.Below(8)) {
+    case 0:
+    case 1: {  // data-processing, immediate
+      static constexpr Op kOps[] = {Op::kAnd, Op::kEor, Op::kSub, Op::kAdd, Op::kOrr,
+                                    Op::kMov, Op::kBic, Op::kMvn, Op::kCmp, Op::kTst};
+      insn.op = kOps[drbg.Below(10)];
+      insn.set_flags = drbg.Below(2) != 0;
+      insn.rd = static_cast<Reg>(drbg.Below(13));  // keep PC out of rd
+      insn.rn = static_cast<Reg>(drbg.Below(13));
+      insn.op2 = Operand2::Imm(static_cast<uint8_t>(drbg.Below(256)),
+                               static_cast<uint8_t>(drbg.Below(16)));
+      break;
+    }
+    case 2: {  // data-processing, shifted register
+      insn.op = Op::kAdd;
+      insn.rd = static_cast<Reg>(drbg.Below(13));
+      insn.rn = static_cast<Reg>(drbg.Below(13));
+      insn.op2 = Operand2::Rm(static_cast<Reg>(drbg.Below(13)),
+                              static_cast<ShiftKind>(drbg.Below(4)),
+                              static_cast<uint8_t>(drbg.Below(32)));
+      break;
+    }
+    case 3: {  // multiply
+      insn.op = Op::kMul;
+      insn.rd = static_cast<Reg>(drbg.Below(13));
+      insn.rm = static_cast<Reg>(drbg.Below(13));
+      insn.rn = static_cast<Reg>(drbg.Below(13));
+      break;
+    }
+    case 4: {  // load/store — mostly wild addresses
+      insn.op = drbg.Below(2) ? Op::kLdr : Op::kStr;
+      insn.rd = static_cast<Reg>(drbg.Below(13));
+      insn.rn = static_cast<Reg>(drbg.Below(13));
+      insn.mem_imm12 = static_cast<uint16_t>(drbg.Below(0x1000));
+      insn.mem_add = drbg.Below(2) != 0;
+      break;
+    }
+    case 5: {  // block transfer
+      insn.op = drbg.Below(2) ? Op::kLdm : Op::kStm;
+      insn.rn = static_cast<Reg>(drbg.Below(13));
+      insn.reg_list = static_cast<uint16_t>(drbg.Below(0x2000) | 1);  // nonempty, no PC
+      insn.block_pre = drbg.Below(2) != 0;
+      insn.mem_add = drbg.Below(2) != 0;
+      insn.block_wback = drbg.Below(2) != 0;
+      break;
+    }
+    case 6: {  // branch (short offsets so it stays near the code page)
+      insn.op = Op::kB;
+      insn.branch_offset = (static_cast<int32_t>(drbg.Below(64)) - 32) * 4;
+      break;
+    }
+    default: {  // SVC with a random call number and whatever is in the regs
+      insn.op = Op::kSvc;
+      insn.trap_imm = drbg.Below(4);
+      break;
+    }
+  }
+  return Encode(insn);
+}
+
+TEST(EnclaveFuzzTest, RandomValidInstructionStreams) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    crypto::HashDrbg drbg(seed * 0x9e3779b9);
+    std::vector<word> code;
+    for (int i = 0; i < 200; ++i) {
+      code.push_back(RandomInstruction(drbg));
+    }
+    Monitor::Config cfg;
+    cfg.max_enclave_steps = 5000;  // bound runaway loops
+    World w(64, cfg);
+    os::Os::BuildOptions opts;
+    opts.with_shared_page = true;
+    os::EnclaveHandle e;
+    ASSERT_EQ(w.os.BuildEnclave(code, &opts, &e), kErrSuccess) << seed;
+
+    // Poison the OS registers so sanitisation failures are visible.
+    for (int i = 5; i <= 11; ++i) {
+      w.machine.r[i] = 0xc0de0000 + i;
+    }
+    os::SmcRet r = w.os.Enter(e.thread, drbg.NextWord(), drbg.NextWord());
+    // The enclave may exit, fault, get interrupted, or be suspended — and may
+    // be resumed; drive it a few more slices if suspended.
+    for (int slice = 0; slice < 5 && r.err == kErrInterrupted; ++slice) {
+      r = w.os.Resume(e.thread);
+    }
+    EXPECT_TRUE(r.err == kErrSuccess || r.err == kErrFault || r.err == kErrInterrupted)
+        << "seed " << seed << ": unexpected error " << KomErrName(r.err);
+
+    // OS context restored, scratch registers sanitised.
+    for (int i = 5; i <= 11; ++i) {
+      ASSERT_EQ(w.machine.r[i], 0xc0de0000u + i) << "seed " << seed << " r" << i;
+    }
+    ASSERT_EQ(w.machine.r[2], 0u) << seed;
+    ASSERT_EQ(w.machine.r[3], 0u) << seed;
+    ASSERT_EQ(w.machine.r[12], 0u) << seed;
+    ASSERT_EQ(w.machine.cpsr.mode, arm::Mode::kSupervisor) << seed;
+    ASSERT_EQ(w.machine.CurrentWorld(), arm::World::kNormal) << seed;
+
+    // Monitor metadata intact.
+    const auto violations = spec::PageDbViolations(spec::ExtractPageDb(w.machine));
+    ASSERT_TRUE(violations.empty()) << "seed " << seed << ": " << violations.front();
+
+    // Whatever the enclave did, it could not have touched the monitor image:
+    // the PageDB region's npages global is a canary that never changes.
+    ASSERT_EQ(w.machine.mem.Read(arm::kMonitorBase + kGlobalNPages), 64u) << seed;
+  }
+}
+
+TEST(EnclaveFuzzTest, RawRandomWordsAsCode) {
+  // Entirely random words: most decode to nothing (undefined) or fault fast.
+  for (uint64_t seed = 100; seed <= 120; ++seed) {
+    crypto::HashDrbg drbg(seed);
+    std::vector<word> code;
+    for (int i = 0; i < 64; ++i) {
+      code.push_back(drbg.NextWord());
+    }
+    Monitor::Config cfg;
+    cfg.max_enclave_steps = 2000;
+    World w(32, cfg);
+    os::Os::BuildOptions opts;
+    os::EnclaveHandle e;
+    ASSERT_EQ(w.os.BuildEnclave(code, &opts, &e), kErrSuccess);
+    os::SmcRet r = w.os.Enter(e.thread);
+    for (int slice = 0; slice < 3 && r.err == kErrInterrupted; ++slice) {
+      r = w.os.Resume(e.thread);
+    }
+    EXPECT_TRUE(r.err == kErrSuccess || r.err == kErrFault || r.err == kErrInterrupted)
+        << "seed " << seed;
+    const auto violations = spec::PageDbViolations(spec::ExtractPageDb(w.machine));
+    ASSERT_TRUE(violations.empty()) << "seed " << seed << ": " << violations.front();
+  }
+}
+
+TEST(EnclaveFuzzTest, FuzzedEnclavesCannotReachOtherEnclaves) {
+  // A victim enclave's data page stays intact no matter what the fuzzed
+  // enclave executes.
+  crypto::HashDrbg drbg(777);
+  Monitor::Config cfg;
+  cfg.max_enclave_steps = 5000;
+  World w(64, cfg);
+
+  os::Os::BuildOptions vopts;
+  vopts.data_init = {0x5ec2e7};
+  os::EnclaveHandle victim;
+  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &vopts, &victim), kErrSuccess);
+  const auto victim_page_before =
+      spec::ExtractPageDb(w.machine)[victim.data_pages[1]];
+
+  for (int round = 0; round < 10; ++round) {
+    std::vector<word> code;
+    for (int i = 0; i < 150; ++i) {
+      code.push_back(RandomInstruction(drbg));
+    }
+    os::Os::BuildOptions opts;
+    os::EnclaveHandle attacker;
+    ASSERT_EQ(w.os.BuildEnclave(code, &opts, &attacker), kErrSuccess);
+    os::SmcRet r = w.os.Enter(attacker.thread, drbg.NextWord());
+    for (int slice = 0; slice < 3 && r.err == kErrInterrupted; ++slice) {
+      r = w.os.Resume(attacker.thread);
+    }
+    // Tear the attacker down to recycle pages for the next round.
+    w.os.Stop(attacker.addrspace);
+    for (PageNr p : attacker.data_pages) {
+      w.os.Remove(p);
+      w.os.FreeSecurePage(p);
+    }
+    w.os.Remove(attacker.thread);
+    w.os.FreeSecurePage(attacker.thread);
+    for (PageNr p : attacker.l2pts) {
+      w.os.Remove(p);
+      w.os.FreeSecurePage(p);
+    }
+    w.os.Remove(attacker.l1pt);
+    w.os.FreeSecurePage(attacker.l1pt);
+    w.os.Remove(attacker.addrspace);
+    w.os.FreeSecurePage(attacker.addrspace);
+  }
+
+  const auto victim_page_after = spec::ExtractPageDb(w.machine)[victim.data_pages[1]];
+  EXPECT_TRUE(victim_page_after == victim_page_before);
+  EXPECT_EQ(w.os.Enter(victim.thread).err, kErrSuccess);
+}
+
+}  // namespace
+}  // namespace komodo

@@ -1,0 +1,203 @@
+// Multi-threaded enclaves: Table 1 allows any number of InitThread calls
+// before Finalise; each dispatcher enters/suspends/resumes independently
+// while sharing the address space. (Execution is still single-core — threads
+// interleave, they don't run in parallel, §1.)
+#include <gtest/gtest.h>
+
+#include "src/arm/assembler.h"
+#include "src/enclave/programs.h"
+#include "src/os/world.h"
+#include "src/spec/extract.h"
+#include "src/spec/invariants.h"
+
+namespace komodo {
+namespace {
+
+using os::World;
+
+// Two entry points in one code page: entry A adds arg into data[0]; entry B
+// multiplies data[0] by arg. Each exits with the new value.
+struct TwoEntryProgram {
+  std::vector<word> code;
+  vaddr entry_a;
+  vaddr entry_b;
+};
+
+TwoEntryProgram MakeTwoEntryProgram() {
+  arm::Assembler a(os::kEnclaveCodeVa);
+  using namespace arm;
+  TwoEntryProgram out;
+  out.entry_a = a.CurrentAddr();
+  a.MovImm(R4, os::kEnclaveDataVa);
+  a.Ldr(R5, R4, 0);
+  a.Add(R5, R5, R0);
+  a.Str(R5, R4, 0);
+  a.Mov(R1, R5);
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+  out.entry_b = a.CurrentAddr();
+  a.MovImm(R4, os::kEnclaveDataVa);
+  a.Ldr(R5, R4, 0);
+  a.Mul(R5, R5, R0);
+  a.Str(R5, R4, 0);
+  a.Mov(R1, R5);
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+  out.code = a.Finish();
+  return out;
+}
+
+class MultiThreadTest : public ::testing::Test {
+ protected:
+  // Builds an enclave with two dispatchers at different entry points.
+  void Build() {
+    const TwoEntryProgram program = MakeTwoEntryProgram();
+    auto& os = w.os;
+    as = os.AllocSecurePage();
+    const PageNr l1pt = os.AllocSecurePage();
+    ASSERT_EQ(os.InitAddrspace(as, l1pt).err, kErrSuccess);
+    const PageNr l2 = os.AllocSecurePage();
+    ASSERT_EQ(os.InitL2Table(as, l2, 0).err, kErrSuccess);
+    const word code_pg = os.AllocInsecurePage();
+    os.WriteInsecurePage(code_pg, program.code);
+    ASSERT_EQ(os.MapSecure(as, os.AllocSecurePage(),
+                           MakeMapping(os::kEnclaveCodeVa, kMapR | kMapX), code_pg)
+                  .err,
+              kErrSuccess);
+    const word data_pg = os.AllocInsecurePage();
+    os.WriteInsecurePage(data_pg, {1});  // data[0] = 1
+    ASSERT_EQ(os.MapSecure(as, os.AllocSecurePage(),
+                           MakeMapping(os::kEnclaveDataVa, kMapR | kMapW), data_pg)
+                  .err,
+              kErrSuccess);
+    thread_a = os.AllocSecurePage();
+    thread_b = os.AllocSecurePage();
+    ASSERT_EQ(os.InitThread(as, thread_a, program.entry_a).err, kErrSuccess);
+    ASSERT_EQ(os.InitThread(as, thread_b, program.entry_b).err, kErrSuccess);
+    ASSERT_EQ(os.Finalise(as).err, kErrSuccess);
+  }
+
+  World w{64};
+  PageNr as = kInvalidPage;
+  PageNr thread_a = kInvalidPage;
+  PageNr thread_b = kInvalidPage;
+};
+
+TEST_F(MultiThreadTest, ThreadsShareTheAddressSpace) {
+  Build();
+  // data[0] = 1; A adds, B multiplies — interleaved through shared state.
+  EXPECT_EQ(w.os.Enter(thread_a, 4).val, 5u);   // 1 + 4
+  EXPECT_EQ(w.os.Enter(thread_b, 3).val, 15u);  // 5 * 3
+  EXPECT_EQ(w.os.Enter(thread_a, 1).val, 16u);  // 15 + 1
+}
+
+TEST_F(MultiThreadTest, EachThreadSuspendsIndependently) {
+  // Replace with spin code? Simpler: suspend A via injected interrupt, then
+  // run B to completion, then resume A.
+  Build();
+  w.machine.pending_irq = true;
+  ASSERT_EQ(w.os.Enter(thread_a, 4).err, kErrInterrupted);
+  // A is suspended; B still enterable.
+  EXPECT_EQ(w.os.Enter(thread_b, 3).err, kErrSuccess);
+  EXPECT_EQ(w.os.Enter(thread_a, 9).err, kErrAlreadyEntered);
+  EXPECT_EQ(w.os.Resume(thread_b).err, kErrNotEntered);
+  EXPECT_EQ(w.os.Resume(thread_a).err, kErrSuccess);
+  EXPECT_TRUE(spec::ValidPageDb(spec::ExtractPageDb(w.machine)));
+}
+
+TEST_F(MultiThreadTest, BothThreadEntrypointsMeasured) {
+  // An enclave with the same code but a different second entry point has a
+  // different measurement.
+  Build();
+  const auto m1 = spec::ExtractPageDb(w.machine)[as].As<spec::AddrspacePage>().measurement;
+
+  World other{64};
+  const TwoEntryProgram program = MakeTwoEntryProgram();
+  auto& os = other.os;
+  const PageNr as2 = os.AllocSecurePage();
+  const PageNr l1pt = os.AllocSecurePage();
+  ASSERT_EQ(os.InitAddrspace(as2, l1pt).err, kErrSuccess);
+  const PageNr l2 = os.AllocSecurePage();
+  ASSERT_EQ(os.InitL2Table(as2, l2, 0).err, kErrSuccess);
+  const word code_pg = os.AllocInsecurePage();
+  os.WriteInsecurePage(code_pg, program.code);
+  ASSERT_EQ(os.MapSecure(as2, os.AllocSecurePage(),
+                         MakeMapping(os::kEnclaveCodeVa, kMapR | kMapX), code_pg)
+                .err,
+            kErrSuccess);
+  const word data_pg = os.AllocInsecurePage();
+  os.WriteInsecurePage(data_pg, {1});
+  ASSERT_EQ(os.MapSecure(as2, os.AllocSecurePage(),
+                         MakeMapping(os::kEnclaveDataVa, kMapR | kMapW), data_pg)
+                .err,
+            kErrSuccess);
+  ASSERT_EQ(os.InitThread(as2, os.AllocSecurePage(), program.entry_a).err, kErrSuccess);
+  ASSERT_EQ(os.InitThread(as2, os.AllocSecurePage(), program.entry_b + 4).err, kErrSuccess);
+  ASSERT_EQ(os.Finalise(as2).err, kErrSuccess);
+  const auto m2 = spec::ExtractPageDb(other.machine)[as2].As<spec::AddrspacePage>().measurement;
+  EXPECT_NE(m1, m2);
+}
+
+TEST_F(MultiThreadTest, RefcountTracksBothThreads) {
+  Build();
+  const spec::PageDb d = spec::ExtractPageDb(w.machine);
+  // l1pt + l2 + code + data + 2 threads = 6.
+  EXPECT_EQ(d[as].As<spec::AddrspacePage>().refcount, 6u);
+}
+
+TEST(SharedChannelTest, TwoEnclavesShareAnInsecurePage) {
+  // The same insecure page mapped into two enclaves is an (untrusted)
+  // communication channel between them (§4).
+  World w{64};
+  auto build = [&w](const std::vector<word>& code, word shared_pg, os::EnclaveHandle* out) {
+    auto& os = w.os;
+    const PageNr as = os.AllocSecurePage();
+    const PageNr l1pt = os.AllocSecurePage();
+    ASSERT_EQ(os.InitAddrspace(as, l1pt).err, kErrSuccess);
+    const PageNr l2 = os.AllocSecurePage();
+    ASSERT_EQ(os.InitL2Table(as, l2, 0).err, kErrSuccess);
+    const word staging = os.AllocInsecurePage();
+    os.WriteInsecurePage(staging, code);
+    ASSERT_EQ(os.MapSecure(as, os.AllocSecurePage(),
+                           MakeMapping(os::kEnclaveCodeVa, kMapR | kMapX), staging)
+                  .err,
+              kErrSuccess);
+    const word data_staging = os.AllocInsecurePage();
+    os.WriteInsecurePage(data_staging, {});
+    ASSERT_EQ(os.MapSecure(as, os.AllocSecurePage(),
+                           MakeMapping(os::kEnclaveDataVa, kMapR | kMapW), data_staging)
+                  .err,
+              kErrSuccess);
+    ASSERT_EQ(os.MapInsecure(as, MakeMapping(os::kEnclaveSharedVa, kMapR | kMapW), shared_pg)
+                  .err,
+              kErrSuccess);
+    const PageNr thread = os.AllocSecurePage();
+    ASSERT_EQ(os.InitThread(as, thread, os::kEnclaveCodeVa).err, kErrSuccess);
+    ASSERT_EQ(os.Finalise(as).err, kErrSuccess);
+    out->addrspace = as;
+    out->thread = thread;
+  };
+
+  const word channel = w.os.AllocInsecurePage();
+  os::EnclaveHandle producer;
+  os::EnclaveHandle consumer;
+  // Producer writes 2*arg+1 to shared[1] (EchoShared reads shared[0]).
+  build(enclave::EchoSharedProgram(), channel, &producer);
+  // Consumer: read shared[1], exit with it.
+  arm::Assembler a(os::kEnclaveCodeVa);
+  using namespace arm;
+  a.MovImm(R4, os::kEnclaveSharedVa);
+  a.Ldr(R1, R4, 4);
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+  build(a.Finish(), channel, &consumer);
+
+  w.os.WriteInsecure(channel, 0, 21);
+  ASSERT_EQ(w.os.Enter(producer.thread).err, kErrSuccess);
+  const os::SmcRet r = w.os.Enter(consumer.thread);
+  ASSERT_EQ(r.err, kErrSuccess);
+  EXPECT_EQ(r.val, 43u);  // 2*21+1, via the shared channel
+}
+
+}  // namespace
+}  // namespace komodo

@@ -1,0 +1,120 @@
+// Parameterized hardening sweep over the whole SMC surface: for every call,
+// classes of bad arguments must be rejected with no observable state change,
+// and no call available to the OS can make a finalised enclave fault
+// (controlled-channel immunity, §3.1).
+#include <gtest/gtest.h>
+
+#include "src/enclave/programs.h"
+#include "src/os/world.h"
+#include "src/spec/extract.h"
+#include "src/spec/invariants.h"
+
+namespace komodo {
+namespace {
+
+using os::World;
+
+const word kAllSmcs[] = {kSmcQuery,      kSmcGetPhysPages, kSmcInitAddrspace, kSmcInitThread,
+                         kSmcInitL2Table, kSmcMapSecure,    kSmcAllocSpare,    kSmcMapInsecure,
+                         kSmcRemove,      kSmcFinalise,     kSmcEnter,         kSmcResume,
+                         kSmcStop};
+
+class SmcSweepTest : public ::testing::TestWithParam<word> {};
+
+TEST_P(SmcSweepTest, OutOfRangePageArgumentsRejectedWithoutStateChange) {
+  const word call = GetParam();
+  if (call == kSmcQuery || call == kSmcGetPhysPages) {
+    GTEST_SKIP() << "no page arguments";
+  }
+  World w{16};
+  const spec::PageDb before = spec::ExtractPageDb(w.machine);
+  // Every combination of clearly-invalid page numbers in the first two slots.
+  for (word bad : {16u, 17u, 0xffffu, 0xffffffffu}) {
+    const os::SmcRet r1 = w.os.Smc(call, bad, bad, bad, bad);
+    EXPECT_NE(r1.err, kErrSuccess) << "call " << call << " accepted page " << bad;
+    const os::SmcRet r2 = w.os.Smc(call, bad, 0, 0, 0);
+    EXPECT_NE(r2.err, kErrSuccess);
+  }
+  EXPECT_TRUE(spec::ExtractPageDb(w.machine) == before)
+      << "call " << call << " mutated state on a failed path";
+}
+
+TEST_P(SmcSweepTest, FreshBootFirstArgumentZeroIsSafe) {
+  // Immediately after boot, any call with all-zero arguments must leave the
+  // PageDB valid (most fail; InitAddrspace(0,0) aliases; none may corrupt).
+  const word call = GetParam();
+  World w{16};
+  w.os.Smc(call, 0, 0, 0, 0);
+  const auto violations = spec::PageDbViolations(spec::ExtractPageDb(w.machine));
+  EXPECT_TRUE(violations.empty()) << "call " << call << ": " << violations.front();
+}
+
+TEST_P(SmcSweepTest, CannotMakeFinalisedEnclaveFault) {
+  // Controlled-channel immunity (§3.1): "the OS ... cannot induce an
+  // exception". Whatever single SMC the OS throws at a finalised enclave's
+  // pages, the enclave afterwards either runs to completion exactly as
+  // before, or is cleanly not runnable (stopped) — it never faults.
+  const word call = GetParam();
+  World w{64};
+  os::Os::BuildOptions opts;
+  opts.with_shared_page = true;
+  os::EnclaveHandle e;
+  ASSERT_EQ(w.os.BuildEnclave(enclave::EchoSharedProgram(), &opts, &e), kErrSuccess);
+  w.os.WriteInsecure(opts.shared_insecure_pgnr, 0, 21);
+  ASSERT_EQ(w.os.Enter(e.thread).err, kErrSuccess);  // baseline run
+
+  // Attack every page of the enclave with this call.
+  const PageNr targets[] = {e.addrspace, e.l1pt, e.l2pts[0], e.thread, e.data_pages[0],
+                            e.data_pages[1]};
+  for (PageNr target : targets) {
+    for (PageNr second : targets) {
+      w.os.Smc(call, target, second, MakeMapping(os::kEnclaveCodeVa, kMapR | kMapW), 33);
+    }
+  }
+
+  const os::SmcRet r = w.os.Enter(e.thread);
+  if (call == kSmcStop) {
+    EXPECT_EQ(r.err, kErrNotFinal);  // cleanly stopped, not faulted
+  } else {
+    EXPECT_EQ(r.err, kErrSuccess) << "call " << call << " broke the enclave";
+    EXPECT_EQ(r.val, 21u);
+  }
+  EXPECT_TRUE(spec::ValidPageDb(spec::ExtractPageDb(w.machine)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCalls, SmcSweepTest, ::testing::ValuesIn(kAllSmcs),
+                         [](const ::testing::TestParamInfo<word>& param_info) {
+                           switch (param_info.param) {
+                             case kSmcQuery:
+                               return std::string("Query");
+                             case kSmcGetPhysPages:
+                               return std::string("GetPhysPages");
+                             case kSmcInitAddrspace:
+                               return std::string("InitAddrspace");
+                             case kSmcInitThread:
+                               return std::string("InitThread");
+                             case kSmcInitL2Table:
+                               return std::string("InitL2Table");
+                             case kSmcMapSecure:
+                               return std::string("MapSecure");
+                             case kSmcAllocSpare:
+                               return std::string("AllocSpare");
+                             case kSmcMapInsecure:
+                               return std::string("MapInsecure");
+                             case kSmcRemove:
+                               return std::string("Remove");
+                             case kSmcFinalise:
+                               return std::string("Finalise");
+                             case kSmcEnter:
+                               return std::string("Enter");
+                             case kSmcResume:
+                               return std::string("Resume");
+                             case kSmcStop:
+                               return std::string("Stop");
+                             default:
+                               return std::string("Unknown");
+                           }
+                         });
+
+}  // namespace
+}  // namespace komodo

@@ -1,0 +1,117 @@
+// TLB-consistency discipline (§5.1): the monitor must never drop to user mode
+// with a stale TLB; stores into live page tables and TTBR writes invalidate
+// it; flushes restore it. The model *asserts* on a violation, so these tests
+// double as evidence the monitor discharges the obligation.
+#include <gtest/gtest.h>
+
+#include "src/arm/assembler.h"
+#include "src/os/world.h"
+
+namespace komodo {
+namespace {
+
+using os::World;
+
+// An enclave that maps a dynamic page and immediately reads through the new
+// mapping — correctness depends on the monitor flushing after the SVC edits
+// the live page table.
+std::vector<word> MapAndTouchProgram() {
+  arm::Assembler a(os::kEnclaveCodeVa);
+  using namespace arm;
+  a.Mov(R7, R0);
+  a.MovImm(R0, kSvcMapData);
+  a.Mov(R1, R7);
+  a.MovImm(R2, MakeMapping(0x30000, kMapR | kMapW));
+  a.Svc();
+  a.Mov(R4, R0);  // MapData error (0 expected)
+  a.MovImm(R5, 0x30000);
+  a.MovImm(R6, 0x1234);
+  a.Str(R6, R5, 0);   // through the brand-new mapping
+  a.Ldr(R1, R5, 0);
+  a.Add(R1, R1, R4);  // fold the error in so failures are visible
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+  return a.Finish();
+}
+
+TEST(TlbTest, MonitorFlushesAfterDynamicMappingSvc) {
+  World w{64};
+  os::Os::BuildOptions opts;
+  os::EnclaveHandle e;
+  ASSERT_EQ(w.os.BuildEnclave(MapAndTouchProgram(), &opts, &e), kErrSuccess);
+  const PageNr spare = w.os.AllocSecurePage();
+  ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
+  const os::SmcRet r = w.os.Enter(e.thread, spare);
+  ASSERT_EQ(r.err, kErrSuccess);
+  EXPECT_EQ(r.val, 0x1234u);
+  EXPECT_TRUE(w.machine.tlb_consistent);
+}
+
+TEST(TlbTest, EnterLeavesTlbConsistent) {
+  World w{64};
+  os::Os::BuildOptions opts;
+  os::EnclaveHandle e;
+  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e), kErrSuccess);
+  // Construction dirtied page tables; Enter must flush before user mode.
+  EXPECT_EQ(w.os.Enter(e.thread).err, kErrSuccess);
+  EXPECT_TRUE(w.machine.tlb_consistent);
+}
+
+TEST(TlbTest, ConstructionSmcsOnInactiveTableDoNotRequireFlush) {
+  // While no enclave is executing (TTBR0 is either 0 or another enclave's),
+  // editing a different enclave's tables must not invalidate the live TLB
+  // tracking needlessly... but editing the *live* one must.
+  World w{64};
+  os::Os::BuildOptions opts;
+  os::EnclaveHandle e;
+  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e), kErrSuccess);
+  ASSERT_EQ(w.os.Enter(e.thread).err, kErrSuccess);
+  ASSERT_TRUE(w.machine.tlb_consistent);
+  // TTBR0 still holds e's table. Build a second enclave: its page-table
+  // writes touch only its own (inactive) tables.
+  os::Os::BuildOptions opts2;
+  os::EnclaveHandle e2;
+  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts2, &e2), kErrSuccess);
+  EXPECT_TRUE(w.machine.tlb_consistent);
+  // But a dynamic map into e (whose table is live in TTBR0) marks it stale.
+  const PageNr spare = w.os.AllocSecurePage();
+  ASSERT_EQ(w.os.AllocSpare(e2.addrspace, spare).err, kErrSuccess);
+  EXPECT_TRUE(w.machine.tlb_consistent);  // e2's table is not the live one
+}
+
+TEST(TlbTest, SkipFlushOptimisationOnlyFiresWhenSafe) {
+  Monitor::Config cfg;
+  cfg.opt_skip_redundant_tlb_flush = true;
+  World w(64, cfg);
+  os::Os::BuildOptions opts;
+  opts.with_shared_page = true;
+  os::EnclaveHandle e;
+  ASSERT_EQ(w.os.BuildEnclave(MapAndTouchProgram(), &opts, &e), kErrSuccess);
+
+  // Two consecutive entries of the same enclave: the second may skip the
+  // flush, and everything still works.
+  os::EnclaveHandle trivial;
+  os::Os::BuildOptions topts;
+  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &topts, &trivial), kErrSuccess);
+  ASSERT_EQ(w.os.Enter(trivial.thread).err, kErrSuccess);
+  const uint64_t before = w.machine.cycles.total();
+  ASSERT_EQ(w.os.Enter(trivial.thread).err, kErrSuccess);
+  const uint64_t warm = w.machine.cycles.total() - before;
+
+  // Dynamic mapping dirties the live table mid-run; the next entry must NOT
+  // skip the flush (correctness over speed).
+  const PageNr spare = w.os.AllocSecurePage();
+  ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
+  const os::SmcRet r = w.os.Enter(e.thread, spare);
+  ASSERT_EQ(r.err, kErrSuccess);
+  EXPECT_EQ(r.val, 0x1234u);
+
+  // Re-entering the trivial enclave after a table switch cannot skip either.
+  const uint64_t before2 = w.machine.cycles.total();
+  ASSERT_EQ(w.os.Enter(trivial.thread).err, kErrSuccess);
+  const uint64_t cold = w.machine.cycles.total() - before2;
+  EXPECT_GT(cold, warm);  // the skipped flush is visible in cycles
+}
+
+}  // namespace
+}  // namespace komodo

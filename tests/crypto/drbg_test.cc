@@ -1,0 +1,93 @@
+#include "src/crypto/drbg.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace komodo::crypto {
+namespace {
+
+TEST(DrbgTest, DeterministicPerSeed) {
+  HashDrbg a(42);
+  HashDrbg b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextWord(), b.NextWord());
+  }
+}
+
+TEST(DrbgTest, DifferentSeedsDiverge) {
+  HashDrbg a(1);
+  HashDrbg b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextWord() == b.NextWord()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(DrbgTest, FillAndBytesConsistent) {
+  HashDrbg a(7);
+  HashDrbg b(7);
+  uint8_t buf[64];
+  a.Fill(buf, sizeof(buf));
+  const std::vector<uint8_t> vec = b.Bytes(64);
+  EXPECT_TRUE(std::equal(vec.begin(), vec.end(), buf));
+}
+
+TEST(DrbgTest, FillRespectsOddLengths) {
+  HashDrbg a(7);
+  HashDrbg b(7);
+  uint8_t one[37];
+  a.Fill(one, sizeof(one));
+  uint8_t two_a[20];
+  uint8_t two_b[17];
+  b.Fill(two_a, sizeof(two_a));
+  b.Fill(two_b, sizeof(two_b));
+  EXPECT_TRUE(std::equal(two_a, two_a + 20, one));
+  EXPECT_TRUE(std::equal(two_b, two_b + 17, one + 20));
+}
+
+TEST(DrbgTest, BelowStaysInRange) {
+  HashDrbg drbg(99);
+  for (uint32_t bound : {1u, 2u, 7u, 100u, 1000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(drbg.Below(bound), bound);
+    }
+  }
+}
+
+TEST(DrbgTest, BelowRoughlyUniform) {
+  HashDrbg drbg(1234);
+  std::map<uint32_t, int> counts;
+  const int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    counts[drbg.Below(4)]++;
+  }
+  for (uint32_t v = 0; v < 4; ++v) {
+    EXPECT_GT(counts[v], kSamples / 4 - 400) << v;
+    EXPECT_LT(counts[v], kSamples / 4 + 400) << v;
+  }
+}
+
+TEST(DrbgTest, WordsLookRandom) {
+  HashDrbg drbg(5);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(drbg.NextWord());
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions expected in 1000 draws
+}
+
+TEST(DrbgTest, SeedMaterialConstructor) {
+  HashDrbg a(std::vector<uint8_t>{1, 2, 3});
+  HashDrbg b(std::vector<uint8_t>{1, 2, 3});
+  HashDrbg c(std::vector<uint8_t>{1, 2, 4});
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+}  // namespace
+}  // namespace komodo::crypto

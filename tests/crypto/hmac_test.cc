@@ -1,0 +1,79 @@
+#include "src/crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+namespace komodo::crypto {
+namespace {
+
+// RFC 4231 vectors. Our key type is a fixed 32 bytes; HMAC zero-pads shorter
+// keys to the block size, so a 20-byte RFC key padded with 12 zero bytes
+// produces the identical MAC.
+HmacKey KeyFromBytes(const std::vector<uint8_t>& bytes) {
+  HmacKey key{};
+  std::copy(bytes.begin(), bytes.end(), key.begin());
+  return key;
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  const HmacKey key = KeyFromBytes(std::vector<uint8_t>(20, 0x0b));
+  const std::string msg = "Hi There";
+  const Digest mac = HmacSha256(key, reinterpret_cast<const uint8_t*>(msg.data()), msg.size());
+  EXPECT_EQ(DigestToHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  const std::string key_str = "Jefe";
+  const HmacKey key = KeyFromBytes({key_str.begin(), key_str.end()});
+  const std::string msg = "what do ya want for nothing?";
+  const Digest mac = HmacSha256(key, reinterpret_cast<const uint8_t*>(msg.data()), msg.size());
+  EXPECT_EQ(DigestToHex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  const HmacKey key = KeyFromBytes(std::vector<uint8_t>(20, 0xaa));
+  const std::vector<uint8_t> msg(50, 0xdd);
+  EXPECT_EQ(DigestToHex(HmacSha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, StreamMatchesOneShot) {
+  HmacKey key{};
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(i * 7);
+  }
+  const std::vector<uint8_t> msg(123, 0x5a);
+  HmacSha256Stream stream(key);
+  stream.Update(msg.data(), 50);
+  stream.Update(msg.data() + 50, msg.size() - 50);
+  EXPECT_EQ(stream.Finalize(), HmacSha256(key, msg));
+}
+
+TEST(HmacTest, KeySensitivity) {
+  HmacKey k1{};
+  HmacKey k2{};
+  k2[31] = 1;
+  const std::vector<uint8_t> msg = {1, 2, 3};
+  EXPECT_NE(HmacSha256(k1, msg), HmacSha256(k2, msg));
+}
+
+TEST(HmacTest, MessageSensitivity) {
+  HmacKey key{};
+  key[0] = 0x42;
+  EXPECT_NE(HmacSha256(key, {1, 2, 3}), HmacSha256(key, {1, 2, 4}));
+  EXPECT_NE(HmacSha256(key, {}), HmacSha256(key, {0}));
+}
+
+TEST(HmacTest, UpdateWordLeMatchesByteUpdate) {
+  HmacKey key{};
+  HmacSha256Stream a(key);
+  a.UpdateWordLe(0xddccbbaa);
+  HmacSha256Stream b(key);
+  const uint8_t bytes[4] = {0xaa, 0xbb, 0xcc, 0xdd};
+  b.Update(bytes, 4);
+  EXPECT_EQ(a.Finalize(), b.Finalize());
+}
+
+}  // namespace
+}  // namespace komodo::crypto

@@ -1,0 +1,133 @@
+#include "src/crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+namespace komodo::crypto {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) { return {s.begin(), s.end()}; }
+
+TEST(RsaTest, KeyGenProducesConsistentKey) {
+  HashDrbg drbg(42);
+  const RsaKeyPair key = RsaGenerateKey(&drbg, 512);
+  EXPECT_EQ(key.pub.n.BitLength(), 512u);
+  EXPECT_EQ(key.pub.e.ToU64(), 65537u);
+  EXPECT_EQ(BigNum::Mul(key.p, key.q), key.pub.n);
+  // e*d == 1 mod phi
+  const BigNum phi = BigNum::Mul(BigNum::Sub(key.p, BigNum(1)), BigNum::Sub(key.q, BigNum(1)));
+  EXPECT_EQ(BigNum::Mod(BigNum::Mul(key.pub.e, key.d), phi), BigNum(1));
+}
+
+TEST(RsaTest, KeyGenDeterministicFromSeed) {
+  HashDrbg a(7);
+  HashDrbg b(7);
+  EXPECT_EQ(RsaGenerateKey(&a, 512).pub.n, RsaGenerateKey(&b, 512).pub.n);
+  HashDrbg c(8);
+  EXPECT_NE(RsaGenerateKey(&a, 512).pub.n, RsaGenerateKey(&c, 512).pub.n);
+}
+
+TEST(RsaTest, SignVerifyRoundTrip) {
+  HashDrbg drbg(1);
+  const RsaKeyPair key = RsaGenerateKey(&drbg, 512);
+  const std::vector<uint8_t> msg = Bytes("attack at dawn");
+  const std::vector<uint8_t> sig = RsaSignSha256(key, msg.data(), msg.size());
+  EXPECT_EQ(sig.size(), key.pub.ModulusBytes());
+  EXPECT_TRUE(RsaVerifySha256(key.pub, msg.data(), msg.size(), sig));
+}
+
+TEST(RsaTest, VerifyRejectsTamperedMessage) {
+  HashDrbg drbg(2);
+  const RsaKeyPair key = RsaGenerateKey(&drbg, 512);
+  const std::vector<uint8_t> msg = Bytes("attack at dawn");
+  const std::vector<uint8_t> sig = RsaSignSha256(key, msg.data(), msg.size());
+  const std::vector<uint8_t> other = Bytes("attack at dusk");
+  EXPECT_FALSE(RsaVerifySha256(key.pub, other.data(), other.size(), sig));
+}
+
+TEST(RsaTest, VerifyRejectsTamperedSignature) {
+  HashDrbg drbg(3);
+  const RsaKeyPair key = RsaGenerateKey(&drbg, 512);
+  const std::vector<uint8_t> msg = Bytes("msg");
+  std::vector<uint8_t> sig = RsaSignSha256(key, msg.data(), msg.size());
+  sig[10] ^= 1;
+  EXPECT_FALSE(RsaVerifySha256(key.pub, msg.data(), msg.size(), sig));
+  sig[10] ^= 1;
+  sig.pop_back();
+  EXPECT_FALSE(RsaVerifySha256(key.pub, msg.data(), msg.size(), sig));
+}
+
+TEST(RsaTest, VerifyRejectsWrongKey) {
+  HashDrbg drbg(4);
+  const RsaKeyPair key1 = RsaGenerateKey(&drbg, 512);
+  const RsaKeyPair key2 = RsaGenerateKey(&drbg, 512);
+  const std::vector<uint8_t> msg = Bytes("msg");
+  const std::vector<uint8_t> sig = RsaSignSha256(key1, msg.data(), msg.size());
+  EXPECT_FALSE(RsaVerifySha256(key2.pub, msg.data(), msg.size(), sig));
+}
+
+TEST(RsaTest, SignaturesDeterministic) {
+  // PKCS#1 v1.5 signing is deterministic: same key + message => same bytes.
+  HashDrbg drbg(5);
+  const RsaKeyPair key = RsaGenerateKey(&drbg, 512);
+  const std::vector<uint8_t> msg = Bytes("stable");
+  EXPECT_EQ(RsaSignSha256(key, msg.data(), msg.size()),
+            RsaSignSha256(key, msg.data(), msg.size()));
+}
+
+TEST(RsaTest, EmsaEncodingLayout) {
+  const Digest digest = Sha256Hash(Bytes("x"));
+  const std::vector<uint8_t> em = Pkcs1V15EncodeSha256(digest, 64);
+  ASSERT_EQ(em.size(), 64u);
+  EXPECT_EQ(em[0], 0x00);
+  EXPECT_EQ(em[1], 0x01);
+  // PS padding of 0xff up to the 0x00 separator.
+  const size_t t_len = 19 + 32;
+  for (size_t i = 2; i < 64 - t_len - 1; ++i) {
+    EXPECT_EQ(em[i], 0xff) << i;
+  }
+  EXPECT_EQ(em[64 - t_len - 1], 0x00);
+  // Digest is the tail.
+  EXPECT_TRUE(std::equal(digest.begin(), digest.end(), em.end() - 32));
+}
+
+TEST(RsaTest, CrtAgreesWithPlainModExp) {
+  HashDrbg drbg(11);
+  const RsaKeyPair key = RsaGenerateKey(&drbg, 512);
+  ASSERT_TRUE(key.has_crt);
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    HashDrbg msg_drbg(seed);
+    const BigNum m = BigNum::Mod(BigNum::Random(&msg_drbg, 512, false), key.pub.n);
+    const BigNum via_crt = RsaPrivateOp(key, m);
+    const BigNum plain = BigNum::ModExp(m, key.d, key.pub.n);
+    ASSERT_EQ(via_crt, plain) << "seed " << seed;
+  }
+}
+
+TEST(RsaTest, CrtParametersConsistent) {
+  HashDrbg drbg(12);
+  const RsaKeyPair key = RsaGenerateKey(&drbg, 512);
+  EXPECT_EQ(key.dp, BigNum::Mod(key.d, BigNum::Sub(key.p, BigNum(1))));
+  EXPECT_EQ(key.dq, BigNum::Mod(key.d, BigNum::Sub(key.q, BigNum(1))));
+  EXPECT_EQ(BigNum::MulMod(key.qinv, key.q, key.p), BigNum(1));
+}
+
+TEST(RsaTest, NonCrtKeyStillSigns) {
+  HashDrbg drbg(13);
+  RsaKeyPair key = RsaGenerateKey(&drbg, 512);
+  key.has_crt = false;  // strip the CRT parameters
+  const std::vector<uint8_t> msg = Bytes("fallback path");
+  const std::vector<uint8_t> sig = RsaSignSha256(key, msg.data(), msg.size());
+  EXPECT_TRUE(RsaVerifySha256(key.pub, msg.data(), msg.size(), sig));
+}
+
+TEST(RsaTest, Rsa1024EndToEnd) {
+  HashDrbg drbg(6);
+  const RsaKeyPair key = RsaGenerateKey(&drbg, 1024);
+  EXPECT_EQ(key.pub.n.BitLength(), 1024u);
+  const std::vector<uint8_t> msg(1000, 0xab);
+  const std::vector<uint8_t> sig = RsaSignSha256(key, msg.data(), msg.size());
+  EXPECT_TRUE(RsaVerifySha256(key.pub, msg.data(), msg.size(), sig));
+}
+
+}  // namespace
+}  // namespace komodo::crypto

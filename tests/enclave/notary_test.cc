@@ -1,0 +1,214 @@
+// The notary (§8.2): functional correctness of both backends, signature
+// verifiability, monotonic counters, and enclave/native equivalence.
+#include "src/enclave/notary.h"
+
+#include <gtest/gtest.h>
+
+#include "src/enclave/native_runtime.h"
+#include "src/os/world.h"
+
+namespace komodo::enclave {
+namespace {
+
+using os::EnclaveHandle;
+using os::World;
+
+// Constructs the notary enclave with the full shared document region mapped
+// (129 insecure pages for the document plus one for pubkey/signature), a
+// native-runtime program registered for its address space.
+struct NotarySetup {
+  World w{512};
+  NativeRuntime runtime{w.monitor};
+  std::shared_ptr<NotaryProgram> program;
+  PageNr addrspace = 0;
+  PageNr thread = 0;
+  word doc_pg0 = 0;  // first insecure page of the document region
+
+  explicit NotarySetup(uint64_t key_seed = 4242) {
+    auto& os = w.os;
+    addrspace = os.AllocSecurePage();
+    const PageNr l1pt = os.AllocSecurePage();
+    EXPECT_EQ(os.InitAddrspace(addrspace, l1pt).err, kErrSuccess);
+    // L2 tables covering the code VA (first 4 MB) and the shared region
+    // (kEnclaveSharedVa .. +516 kB crosses nothing: 1 MB region, same 4 MB).
+    const PageNr l2 = os.AllocSecurePage();
+    EXPECT_EQ(os.InitL2Table(addrspace, l2, 0).err, kErrSuccess);
+    // Code page (native program; contents immaterial but measured).
+    const word staging = os.AllocInsecurePage();
+    os.WriteInsecurePage(staging, {0xe3a00001, 0xef000000});
+    const PageNr code = os.AllocSecurePage();
+    EXPECT_EQ(os.MapSecure(addrspace, code, MakeMapping(os::kEnclaveCodeVa, kMapR | kMapX),
+                           staging)
+                  .err,
+              kErrSuccess);
+    // Shared document region: contiguous insecure pages.
+    doc_pg0 = os.AllocInsecurePage();
+    for (word i = 1; i < kNotarySharedPages + 1; ++i) {
+      const word pg = os.AllocInsecurePage();
+      EXPECT_EQ(pg, doc_pg0 + i);  // allocator is sequential
+    }
+    for (word i = 0; i < kNotarySharedPages + 1; ++i) {
+      EXPECT_EQ(os.MapInsecure(addrspace,
+                               MakeMapping(os::kEnclaveSharedVa + i * arm::kPageSize,
+                                           kMapR | kMapW),
+                               doc_pg0 + i)
+                    .err,
+                kErrSuccess);
+    }
+    thread = os.AllocSecurePage();
+    EXPECT_EQ(os.InitThread(addrspace, thread, os::kEnclaveCodeVa).err, kErrSuccess);
+    EXPECT_EQ(os.Finalise(addrspace).err, kErrSuccess);
+
+    program = std::make_shared<NotaryProgram>(key_seed);
+    runtime.Register(l1pt, program);
+  }
+
+  // Writes the document into the shared region (OS side).
+  void StageDocument(const std::vector<uint8_t>& doc) {
+    for (size_t i = 0; i < doc.size(); i += 4) {
+      word wv = 0;
+      for (size_t j = 0; j < 4 && i + j < doc.size(); ++j) {
+        wv |= static_cast<word>(doc[i + j]) << (8 * j);
+      }
+      w.machine.mem.Write(doc_pg0 * arm::kPageSize + static_cast<word>(i), wv);
+    }
+  }
+
+  std::vector<uint8_t> ReadSignature(size_t len) {
+    std::vector<uint8_t> sig(len);
+    const paddr base = doc_pg0 * arm::kPageSize + kNotaryMaxDocBytes + 1024;
+    for (size_t i = 0; i < len; ++i) {
+      const word wv = w.machine.mem.Read((base + static_cast<word>(i)) & ~3u);
+      sig[i] = static_cast<uint8_t>(wv >> (((base + i) & 3u) * 8));
+    }
+    return sig;
+  }
+};
+
+TEST(NotaryCoreTest, SignaturesVerifyAndCounterAdvances) {
+  NotaryCore core(1);
+  core.Init();
+  const std::vector<uint8_t> doc = {'d', 'o', 'c'};
+  uint64_t cycles = 0;
+  const std::vector<uint8_t> sig0 = core.Notarize(doc.data(), doc.size(), &cycles);
+  EXPECT_EQ(core.counter(), 1u);
+  // Verify against the exact message the notary signs: doc || counter(0).
+  std::vector<uint8_t> message = doc;
+  message.insert(message.end(), {0, 0, 0, 0});
+  EXPECT_TRUE(
+      crypto::RsaVerifySha256(core.public_key(), message.data(), message.size(), sig0));
+
+  // Same document again gets a different signature (counter changed).
+  const std::vector<uint8_t> sig1 = core.Notarize(doc.data(), doc.size(), &cycles);
+  EXPECT_NE(sig0, sig1);
+  EXPECT_FALSE(
+      crypto::RsaVerifySha256(core.public_key(), message.data(), message.size(), sig1));
+}
+
+TEST(NotaryCoreTest, InitIdempotent) {
+  NotaryCore core(1);
+  EXPECT_GT(core.Init(), 0u);
+  EXPECT_EQ(core.Init(), 0u);  // no second keygen
+}
+
+TEST(NotaryCoreTest, CostsScaleWithDocumentSize) {
+  NotaryCore core(1);
+  core.Init();
+  std::vector<uint8_t> small(4096, 1);
+  std::vector<uint8_t> large(65536, 1);
+  uint64_t small_cycles = 0;
+  uint64_t large_cycles = 0;
+  core.Notarize(small.data(), small.size(), &small_cycles);
+  core.Notarize(large.data(), large.size(), &large_cycles);
+  EXPECT_GT(large_cycles, small_cycles);
+  // Fixed RSA cost dominates at small sizes.
+  EXPECT_GT(small_cycles, core.costs().rsa_sign_cycles);
+}
+
+TEST(NotaryEnclaveTest, InitPublishesModulus) {
+  NotarySetup n;
+  const os::SmcRet r = n.w.os.Enter(n.thread, kNotaryCmdInit);
+  ASSERT_EQ(r.err, kErrSuccess);
+  EXPECT_EQ(r.val, 0u);
+  // Modulus appears in the shared page following the document region.
+  const paddr base = n.doc_pg0 * arm::kPageSize + kNotaryMaxDocBytes;
+  word nonzero = 0;
+  for (word i = 0; i < 32; ++i) {
+    nonzero |= n.w.machine.mem.Read(base + i * 4);
+  }
+  EXPECT_NE(nonzero, 0u);
+}
+
+TEST(NotaryEnclaveTest, NotarizeProducesVerifiableSignature) {
+  NotarySetup n;
+  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdInit).err, kErrSuccess);
+  const std::vector<uint8_t> doc(1000, 0x5c);
+  n.StageDocument(doc);
+  const os::SmcRet r = n.w.os.Enter(n.thread, kNotaryCmdNotarize, 1000);
+  ASSERT_EQ(r.err, kErrSuccess);
+  EXPECT_EQ(r.val, 1u);  // counter after first notarisation
+
+  const std::vector<uint8_t> sig = n.ReadSignature(128);
+  std::vector<uint8_t> message = doc;
+  message.insert(message.end(), {0, 0, 0, 0});
+  EXPECT_TRUE(crypto::RsaVerifySha256(n.program->core().public_key(), message.data(),
+                                      message.size(), sig));
+}
+
+TEST(NotaryEnclaveTest, CounterMonotonicAcrossEntries) {
+  NotarySetup n;
+  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdInit).err, kErrSuccess);
+  const std::vector<uint8_t> doc(64, 1);
+  n.StageDocument(doc);
+  for (word expected = 1; expected <= 5; ++expected) {
+    EXPECT_EQ(n.w.os.Enter(n.thread, kNotaryCmdNotarize, 64).val, expected);
+  }
+}
+
+TEST(NotaryEnclaveTest, RejectsOversizedDocument) {
+  NotarySetup n;
+  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdInit).err, kErrSuccess);
+  EXPECT_EQ(n.w.os.Enter(n.thread, kNotaryCmdNotarize, kNotaryMaxDocBytes + 1).val, 0u);
+  EXPECT_EQ(n.w.os.Enter(n.thread, kNotaryCmdNotarize, 0).val, 0u);
+}
+
+TEST(NotaryBackendsTest, EnclaveAndNativeProduceSameSignatures) {
+  // Same key seed => both backends are the same notary; Figure 5 compares
+  // their performance on identical work.
+  NotarySetup n(777);
+  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdInit).err, kErrSuccess);
+  NotaryNative native(777);
+  native.Init();
+
+  const std::vector<uint8_t> doc(4096, 0xd0);
+  n.StageDocument(doc);
+  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdNotarize, 4096).val, 1u);
+  const std::vector<uint8_t> enclave_sig = n.ReadSignature(128);
+  const std::vector<uint8_t> native_sig = native.Notarize(doc);
+  EXPECT_EQ(enclave_sig, native_sig);
+}
+
+TEST(NotaryBackendsTest, EnclaveCostExceedsNativeByCrossingOnly) {
+  NotarySetup n(9);
+  NotaryNative native(9);
+  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdInit).err, kErrSuccess);
+  native.Init();
+  native.ResetCycles();
+
+  const std::vector<uint8_t> doc(16384, 0x11);
+  n.StageDocument(doc);
+  const uint64_t before = n.w.machine.cycles.total();
+  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdNotarize, 16384).val, 1u);
+  const uint64_t enclave_cycles = n.w.machine.cycles.total() - before;
+  native.Notarize(doc);
+  const uint64_t native_cycles = native.cycles();
+
+  EXPECT_GT(enclave_cycles, native_cycles);
+  // The overhead is small relative to the work (Figure 5's whole point).
+  const double overhead =
+      static_cast<double>(enclave_cycles - native_cycles) / static_cast<double>(native_cycles);
+  EXPECT_LT(overhead, 0.10) << "enclave overhead " << overhead * 100 << "%";
+}
+
+}  // namespace
+}  // namespace komodo::enclave

@@ -1,0 +1,75 @@
+// The canned A32 enclave programs assemble to decodable code and behave as
+// documented when run under the monitor.
+#include "src/enclave/programs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/arm/isa.h"
+#include "src/os/world.h"
+
+namespace komodo::enclave {
+namespace {
+
+using os::EnclaveHandle;
+using os::World;
+
+TEST(ProgramsTest, MostProgramsDecodeCleanly) {
+  const std::vector<std::pair<const char*, std::vector<word>>> programs = {
+      {"add_two", AddTwoProgram()},       {"echo_shared", EchoSharedProgram()},
+      {"counter", CounterProgram()},      {"spin", SpinProgram()},
+      {"attest", AttestProgram()},        {"verify", VerifyProgram()},
+      {"dynmem", DynMemProgram()},        {"random", RandomProgram()},
+      {"leak", LeakSecretProgram()},      {"read_outside", ReadOutsideProgram()},
+      {"write_code", WriteCodeProgram()},
+  };
+  for (const auto& [name, code] : programs) {
+    ASSERT_FALSE(code.empty()) << name;
+    ASSERT_LE(code.size(), arm::kWordsPerPage) << name;
+    for (size_t i = 0; i < code.size(); ++i) {
+      EXPECT_TRUE(arm::Decode(code[i]).has_value())
+          << name << " word " << i << " = 0x" << std::hex << code[i];
+    }
+  }
+}
+
+TEST(ProgramsTest, UndefinedProgramContainsUndecodableWord) {
+  const std::vector<word> code = UndefinedInsnProgram();
+  EXPECT_FALSE(arm::Decode(code[0]).has_value());
+}
+
+TEST(ProgramsTest, ProgramsFitOnePageWithRoom) {
+  // The builder maps a single code page; keep programs comfortably inside.
+  EXPECT_LT(AttestProgram().size(), 200u);
+  EXPECT_LT(VerifyProgram().size(), 200u);
+  EXPECT_LT(DynMemProgram().size(), 100u);
+}
+
+TEST(ProgramsTest, EchoSharedEndToEnd) {
+  World w{64};
+  os::Os::BuildOptions opts;
+  opts.with_shared_page = true;
+  EnclaveHandle e;
+  ASSERT_EQ(w.os.BuildEnclave(EchoSharedProgram(), &opts, &e), kErrSuccess);
+  for (word x : {0u, 1u, 21u, 0x7fffffffu}) {
+    w.os.WriteInsecure(opts.shared_insecure_pgnr, 0, x);
+    const os::SmcRet r = w.os.Enter(e.thread);
+    ASSERT_EQ(r.err, kErrSuccess);
+    EXPECT_EQ(r.val, x);
+    EXPECT_EQ(w.os.ReadInsecure(opts.shared_insecure_pgnr, 1), 2 * x + 1);
+  }
+}
+
+TEST(ProgramsTest, CounterAccumulates) {
+  World w{64};
+  os::Os::BuildOptions opts;
+  EnclaveHandle e;
+  ASSERT_EQ(w.os.BuildEnclave(CounterProgram(), &opts, &e), kErrSuccess);
+  word total = 0;
+  for (word add : {3u, 0u, 100u, 1u}) {
+    total += add;
+    EXPECT_EQ(w.os.Enter(e.thread, add).val, total);
+  }
+}
+
+}  // namespace
+}  // namespace komodo::enclave

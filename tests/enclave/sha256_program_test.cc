@@ -1,0 +1,135 @@
+// End-to-end test of the in-enclave SHA-256: real interpreted A32 code,
+// through real page tables, checked against the host implementation and
+// FIPS 180-4 vectors — the enclave-side analogue of the paper's verified SHA.
+#include "src/enclave/sha256_program.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/sha256.h"
+#include "src/os/world.h"
+
+namespace komodo::enclave {
+namespace {
+
+using os::EnclaveHandle;
+using os::World;
+
+class Sha256ProgramTest : public ::testing::Test {
+ protected:
+  Sha256ProgramTest() {
+    os::Os::BuildOptions opts;
+    opts.with_shared_page = true;
+    EXPECT_EQ(w.os.BuildEnclave(Sha256Program(), &opts, &e), kErrSuccess);
+    shared_pg = opts.shared_insecure_pgnr;
+  }
+
+  std::array<uint8_t, 32> HashInEnclave(const std::vector<uint8_t>& message) {
+    const word nblocks = StageSha256Message(w.os, shared_pg, message);
+    const os::SmcRet r = w.os.Enter(e.thread, nblocks);
+    EXPECT_EQ(r.err, kErrSuccess) << KomErrName(r.err);
+    return ReadSha256Digest(w.os, shared_pg);
+  }
+
+  World w{64};
+  EnclaveHandle e;
+  word shared_pg = 0;
+};
+
+TEST_F(Sha256ProgramTest, FipsVectorAbc) {
+  const std::array<uint8_t, 32> digest = HashInEnclave({'a', 'b', 'c'});
+  crypto::Digest expected;
+  std::copy(digest.begin(), digest.end(), expected.begin());
+  EXPECT_EQ(crypto::DigestToHex(expected),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST_F(Sha256ProgramTest, FipsVectorEmpty) {
+  const std::array<uint8_t, 32> digest = HashInEnclave({});
+  crypto::Digest expected;
+  std::copy(digest.begin(), digest.end(), expected.begin());
+  EXPECT_EQ(crypto::DigestToHex(expected),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST_F(Sha256ProgramTest, MatchesHostImplementationAcrossSizes) {
+  for (size_t len : {1u, 55u, 56u, 63u, 64u, 65u, 127u, 128u, 500u, 1000u, 3000u}) {
+    std::vector<uint8_t> message(len);
+    for (size_t i = 0; i < len; ++i) {
+      message[i] = static_cast<uint8_t>(i * 7 + len);
+    }
+    const std::array<uint8_t, 32> enclave_digest = HashInEnclave(message);
+    const crypto::Digest host_digest = crypto::Sha256Hash(message);
+    ASSERT_TRUE(std::equal(enclave_digest.begin(), enclave_digest.end(), host_digest.begin()))
+        << "len=" << len;
+  }
+}
+
+TEST_F(Sha256ProgramTest, ReentrantAcrossMessages) {
+  // Each Enter is a fresh hash; state from the previous message must not
+  // bleed in (H is re-initialised from the constants each time).
+  const std::vector<uint8_t> m1 = {'x'};
+  const std::vector<uint8_t> m2 = {'y'};
+  const auto d1 = HashInEnclave(m1);
+  const auto d2 = HashInEnclave(m2);
+  const auto d1_again = HashInEnclave(m1);
+  EXPECT_NE(d1, d2);
+  EXPECT_EQ(d1, d1_again);
+}
+
+TEST_F(Sha256ProgramTest, SurvivesInterruptAndResume) {
+  // Interrupt the enclave mid-hash (tiny step budget), resume repeatedly, and
+  // verify the digest still comes out right — context save/restore through a
+  // real multi-thousand-instruction workload.
+  Monitor::Config cfg;
+  cfg.max_enclave_steps = 700;  // well below one block's work
+  World small(64, cfg);
+  os::Os::BuildOptions opts;
+  opts.with_shared_page = true;
+  EnclaveHandle enclave;
+  ASSERT_EQ(small.os.BuildEnclave(Sha256Program(), &opts, &enclave), kErrSuccess);
+
+  std::vector<uint8_t> message(300);
+  for (size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<uint8_t>(i);
+  }
+  const word nblocks = StageSha256Message(small.os, opts.shared_insecure_pgnr, message);
+  os::SmcRet r = small.os.Enter(enclave.thread, nblocks);
+  int interrupts = 0;
+  while (r.err == kErrInterrupted) {
+    ++interrupts;
+    ASSERT_LT(interrupts, 200);
+    r = small.os.Resume(enclave.thread);
+  }
+  ASSERT_EQ(r.err, kErrSuccess);
+  EXPECT_GT(interrupts, 3) << "budget too generous to exercise resume";
+
+  const auto enclave_digest = ReadSha256Digest(small.os, opts.shared_insecure_pgnr);
+  const crypto::Digest host_digest = crypto::Sha256Hash(message);
+  EXPECT_TRUE(std::equal(enclave_digest.begin(), enclave_digest.end(), host_digest.begin()));
+}
+
+TEST_F(Sha256ProgramTest, CycleCostPerBlockMatchesCalibration) {
+  // The interpreted per-block cost should be in the ballpark of the cycle
+  // model's SHA-256 constant (MonitorOps::kSha256BlockCycles = 2300), since
+  // both describe straightforward ARM implementations.
+  const std::vector<uint8_t> one(10, 1);     // 1 block after padding
+  const std::vector<uint8_t> nine(520, 1);   // 9 blocks after padding
+  word nblocks = StageSha256Message(w.os, shared_pg, one);
+  ASSERT_EQ(nblocks, 1u);
+  uint64_t before = w.machine.cycles.total();
+  ASSERT_EQ(w.os.Enter(e.thread, 1).err, kErrSuccess);
+  const uint64_t one_block = w.machine.cycles.total() - before;
+
+  nblocks = StageSha256Message(w.os, shared_pg, nine);
+  ASSERT_EQ(nblocks, 9u);
+  before = w.machine.cycles.total();
+  ASSERT_EQ(w.os.Enter(e.thread, 9).err, kErrSuccess);
+  const uint64_t nine_blocks = w.machine.cycles.total() - before;
+
+  const uint64_t per_block = (nine_blocks - one_block) / 8;
+  EXPECT_GT(per_block, 1500u);
+  EXPECT_LT(per_block, 8000u);
+}
+
+}  // namespace
+}  // namespace komodo::enclave

@@ -1,0 +1,148 @@
+// Remote attestation via the trusted signing enclave (§4's deferred design):
+// a genuine local attestation becomes a remotely-verifiable RSA signature;
+// forgeries are refused because the signing enclave checks the MAC through
+// the monitor before signing.
+#include "src/enclave/signing_enclave.h"
+
+#include <gtest/gtest.h>
+
+#include "src/enclave/programs.h"
+#include "src/os/world.h"
+#include "src/spec/extract.h"
+
+namespace komodo::enclave {
+namespace {
+
+using os::EnclaveHandle;
+using os::World;
+
+class SigningEnclaveTest : public ::testing::Test {
+ protected:
+  SigningEnclaveTest() : runtime(w.monitor) {
+    // The attestor: an interpreted A32 enclave producing a local attestation.
+    os::Os::BuildOptions aopts;
+    aopts.with_shared_page = true;
+    EXPECT_EQ(w.os.BuildEnclave(AttestProgram(), &aopts, &attestor), kErrSuccess);
+    attestor_shared = aopts.shared_insecure_pgnr;
+
+    // The signer: a native program in its own enclave.
+    os::Os::BuildOptions sopts;
+    sopts.with_shared_page = true;
+    EXPECT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &sopts, &signer), kErrSuccess);
+    signer_shared = sopts.shared_insecure_pgnr;
+    program = std::make_shared<SigningEnclave>(/*key_seed=*/99);
+    runtime.Register(signer.l1pt, program);
+    EXPECT_EQ(w.os.Enter(signer.thread, kSignerCmdInit).val, 1u);
+  }
+
+  // Produces a local attestation from the attestor over data derived from
+  // `seed`, then stages (data, measurement, mac) into the signer's shared
+  // page. Returns the measurement.
+  std::array<word, 8> StageAttestation(word seed) {
+    EXPECT_EQ(w.os.Enter(attestor.thread, seed).err, kErrSuccess);
+    const auto db = spec::ExtractPageDb(w.machine);
+    const auto measurement = db[attestor.addrspace].As<spec::AddrspacePage>().measurement;
+    std::array<word, 8> out;
+    for (word i = 0; i < 8; ++i) {
+      out[i] = measurement[i];
+      w.os.WriteInsecure(signer_shared, i, seed + i);  // the attested data
+      w.os.WriteInsecure(signer_shared, 8 + i, measurement[i]);
+      w.os.WriteInsecure(signer_shared, 16 + i, w.os.ReadInsecure(attestor_shared, i));
+    }
+    return out;
+  }
+
+  std::vector<uint8_t> ReadSignature() {
+    std::vector<uint8_t> sig(128);
+    for (size_t i = 0; i < sig.size(); ++i) {
+      const word v = w.os.ReadInsecure(signer_shared,
+                                       (kSignerSigOffset + static_cast<word>(i)) / 4);
+      sig[i] = static_cast<uint8_t>(v >> ((i % 4) * 8));
+    }
+    return sig;
+  }
+
+  World w{128};
+  NativeRuntime runtime;
+  std::shared_ptr<SigningEnclave> program;
+  EnclaveHandle attestor;
+  EnclaveHandle signer;
+  word attestor_shared = 0;
+  word signer_shared = 0;
+};
+
+TEST_F(SigningEnclaveTest, PublishesEndorsableKey) {
+  // The modulus in the shared page matches the in-enclave key.
+  std::vector<uint8_t> modulus(128);
+  for (size_t i = 0; i < modulus.size(); ++i) {
+    const word v = w.os.ReadInsecure(signer_shared,
+                                     (kSignerPubkeyOffset + static_cast<word>(i)) / 4);
+    modulus[i] = static_cast<uint8_t>(v >> ((i % 4) * 8));
+  }
+  EXPECT_EQ(crypto::BigNum::FromBytesBe(modulus), program->public_key().n);
+}
+
+TEST_F(SigningEnclaveTest, GenuineAttestationGetsSigned) {
+  const std::array<word, 8> measurement = StageAttestation(0x42);
+  const os::SmcRet r = w.os.Enter(signer.thread, kSignerCmdSign);
+  ASSERT_EQ(r.err, kErrSuccess);
+  ASSERT_EQ(r.val, 1u) << "signer refused a genuine attestation";
+
+  // The remote verifier: checks against the endorsed public key only.
+  std::array<word, 8> data;
+  for (word i = 0; i < 8; ++i) {
+    data[i] = 0x42 + i;
+  }
+  const std::vector<uint8_t> message = SigningEnclave::SignedMessage(measurement, data);
+  EXPECT_TRUE(crypto::RsaVerifySha256(program->public_key(), message.data(), message.size(),
+                                      ReadSignature()));
+}
+
+TEST_F(SigningEnclaveTest, RefusesTamperedData) {
+  StageAttestation(0x42);
+  w.os.WriteInsecure(signer_shared, 0, 0xbad);  // OS tampers with the data
+  EXPECT_EQ(w.os.Enter(signer.thread, kSignerCmdSign).val, 0u);
+}
+
+TEST_F(SigningEnclaveTest, RefusesTamperedMeasurement) {
+  StageAttestation(0x42);
+  const word original = w.os.ReadInsecure(signer_shared, 8);
+  w.os.WriteInsecure(signer_shared, 8, original ^ 1);  // claim another identity
+  EXPECT_EQ(w.os.Enter(signer.thread, kSignerCmdSign).val, 0u);
+}
+
+TEST_F(SigningEnclaveTest, RefusesForgedMac) {
+  StageAttestation(0x42);
+  for (word i = 16; i < 24; ++i) {
+    w.os.WriteInsecure(signer_shared, i, 0x41414141);
+  }
+  EXPECT_EQ(w.os.Enter(signer.thread, kSignerCmdSign).val, 0u);
+}
+
+TEST_F(SigningEnclaveTest, SignatureBindsToData) {
+  // A signature over one payload must not verify for another.
+  const std::array<word, 8> measurement = StageAttestation(0x42);
+  ASSERT_EQ(w.os.Enter(signer.thread, kSignerCmdSign).val, 1u);
+  std::array<word, 8> other_data;
+  for (word i = 0; i < 8; ++i) {
+    other_data[i] = 0x43 + i;
+  }
+  const std::vector<uint8_t> message = SigningEnclave::SignedMessage(measurement, other_data);
+  EXPECT_FALSE(crypto::RsaVerifySha256(program->public_key(), message.data(), message.size(),
+                                       ReadSignature()));
+}
+
+TEST_F(SigningEnclaveTest, SignBeforeInitRefused) {
+  World fresh{128};
+  NativeRuntime rt(fresh.monitor);
+  os::Os::BuildOptions opts;
+  opts.with_shared_page = true;
+  EnclaveHandle e;
+  ASSERT_EQ(fresh.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e), kErrSuccess);
+  auto p = std::make_shared<SigningEnclave>(1);
+  rt.Register(e.l1pt, p);
+  EXPECT_EQ(fresh.os.Enter(e.thread, kSignerCmdSign).val, 0u);
+}
+
+}  // namespace
+}  // namespace komodo::enclave

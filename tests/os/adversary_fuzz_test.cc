@@ -1,0 +1,106 @@
+// Fuzz-style robustness: long random adversarial SMC traces must never crash
+// the monitor, violate PageDB invariants, or corrupt a bystander enclave.
+#include <gtest/gtest.h>
+
+#include "src/os/adversary.h"
+#include "src/os/world.h"
+#include "src/spec/extract.h"
+#include "src/spec/invariants.h"
+
+namespace komodo::os {
+namespace {
+
+TEST(AdversaryFuzzTest, InvariantsSurviveLongTraces) {
+  for (uint64_t seed = 100; seed < 106; ++seed) {
+    World w{24};
+    Adversary adv(w.os, seed);
+    for (int i = 0; i < 1000; ++i) {
+      adv.Step();
+      if (i % 100 == 99) {
+        const auto violations = spec::PageDbViolations(spec::ExtractPageDb(w.machine));
+        ASSERT_TRUE(violations.empty())
+            << "seed " << seed << " step " << i << ": " << violations.front();
+      }
+    }
+  }
+}
+
+TEST(AdversaryFuzzTest, ActionMixCoversSuccessAndFailure) {
+  World w{24};
+  Adversary adv(w.os, 7);
+  int successes = 0;
+  int failures = 0;
+  for (int i = 0; i < 500; ++i) {
+    const AdvAction a = adv.NextAction();
+    const SmcRet r = Adversary::Execute(w.os, a);
+    (r.err == kErrSuccess ? successes : failures)++;
+  }
+  EXPECT_GT(successes, 20) << "adversary too weak: nothing succeeds";
+  EXPECT_GT(failures, 20) << "adversary too tame: nothing gets rejected";
+}
+
+TEST(AdversaryFuzzTest, MonitorStateStaysInBoundsUnderFuzz) {
+  // The monitor must never allocate beyond the configured page count nor
+  // produce types outside the enum, whatever the adversary does.
+  World w{16};
+  Adversary adv(w.os, 31337);
+  for (int i = 0; i < 800; ++i) {
+    adv.Step();
+  }
+  const spec::PageDb d = spec::ExtractPageDb(w.machine);
+  EXPECT_EQ(d.NPages(), 16u);
+  for (PageNr n = 0; n < d.NPages(); ++n) {
+    const word type = static_cast<word>(d[n].type());
+    EXPECT_LE(type, static_cast<word>(PageType::kSparePage));
+  }
+}
+
+TEST(AdversaryFuzzTest, BystanderEnclaveStillRunsAfterFuzz) {
+  World w{32};
+  Os::BuildOptions opts;
+  EnclaveHandle e;
+  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e), kErrSuccess);
+
+  Adversary adv(w.os, 55);
+  const auto protects = [&e](const AdvAction& a) {
+    // Leave the bystander's pages alone (the OS is allowed to stop it; that
+    // is not a security violation, just inconvenient for this test).
+    for (word arg : a.args) {
+      if (arg == e.addrspace || arg == e.thread) {
+        return false;
+      }
+    }
+    return true;
+  };
+  int executed = 0;
+  for (int i = 0; i < 1200 && executed < 600; ++i) {
+    const AdvAction a = adv.NextAction();
+    if (!protects(a)) {
+      continue;
+    }
+    Adversary::Execute(w.os, a);
+    ++executed;
+  }
+  const SmcRet r = w.os.Enter(e.thread, 0, 5);
+  EXPECT_EQ(r.err, kErrSuccess);
+}
+
+TEST(AdversaryFuzzTest, DeterministicReplay) {
+  // The same seed yields the same action sequence (needed by the paired
+  // noninterference tests).
+  World w1{16};
+  World w2{16};
+  Adversary a1(w1.os, 9);
+  Adversary a2(w2.os, 9);
+  for (int i = 0; i < 100; ++i) {
+    const AdvAction x = a1.NextAction();
+    const AdvAction y = a2.NextAction();
+    ASSERT_EQ(x.call, y.call);
+    for (int j = 0; j < 4; ++j) {
+      ASSERT_EQ(x.args[j], y.args[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace komodo::os

@@ -1,0 +1,109 @@
+#include "src/os/os.h"
+
+#include <gtest/gtest.h>
+
+#include "src/os/world.h"
+#include "src/spec/extract.h"
+
+namespace komodo::os {
+namespace {
+
+TEST(OsTest, WorldBootsIntoNormalWorldSupervisor) {
+  World w{32};
+  EXPECT_EQ(w.machine.cpsr.mode, arm::Mode::kSupervisor);
+  EXPECT_EQ(w.machine.CurrentWorld(), arm::World::kNormal);
+  EXPECT_FALSE(w.machine.cpsr.irq_masked);
+}
+
+TEST(OsTest, BootInitialisesMonitorGlobals) {
+  World w{32};
+  EXPECT_EQ(w.machine.mem.Read(arm::kMonitorBase + kGlobalNPages), 32u);
+  EXPECT_EQ(w.machine.mem.Read(arm::kMonitorBase + kGlobalCurDispatcher), kInvalidPage);
+  // An attestation key was derived (vanishingly unlikely to be all-zero).
+  word nonzero = 0;
+  for (word i = 0; i < 8; ++i) {
+    nonzero |= w.machine.mem.Read(arm::kMonitorBase + kGlobalAttestKey + i * 4);
+  }
+  EXPECT_NE(nonzero, 0u);
+}
+
+TEST(OsTest, BootMarksAllPagesFree) {
+  World w{32};
+  const spec::PageDb d = spec::ExtractPageDb(w.machine);
+  for (PageNr n = 0; n < 32; ++n) {
+    EXPECT_TRUE(d[n].IsFree()) << n;
+  }
+}
+
+TEST(OsTest, SecurePageAllocatorAscendingAndReusable) {
+  World w{32};
+  EXPECT_EQ(w.os.AllocSecurePage(), 0u);
+  EXPECT_EQ(w.os.AllocSecurePage(), 1u);
+  w.os.FreeSecurePage(0);
+  EXPECT_EQ(w.os.AllocSecurePage(), 0u);
+}
+
+TEST(OsTest, InsecurePageReadWrite) {
+  World w{32};
+  const word pg = w.os.AllocInsecurePage();
+  w.os.WriteInsecure(pg, 3, 0x1234);
+  EXPECT_EQ(w.os.ReadInsecure(pg, 3), 0x1234u);
+  EXPECT_EQ(w.machine.mem.Read(pg * arm::kPageSize + 12), 0x1234u);
+  w.os.WriteInsecurePage(pg, {1, 2, 3});
+  EXPECT_EQ(w.os.ReadInsecure(pg, 0), 1u);
+  EXPECT_EQ(w.os.ReadInsecure(pg, 2), 3u);
+  EXPECT_EQ(w.os.ReadInsecure(pg, 3), 0u);  // tail zeroed
+}
+
+TEST(OsTest, SmcRestoresOsContext) {
+  World w{32};
+  w.machine.r[7] = 0x777;
+  const word pc_before = w.machine.pc;
+  w.os.Smc(kSmcGetPhysPages);
+  EXPECT_EQ(w.machine.r[7], 0x777u);
+  EXPECT_EQ(w.machine.pc, pc_before + 4);  // returned after the smc insn
+  EXPECT_EQ(w.machine.cpsr.mode, arm::Mode::kSupervisor);
+}
+
+TEST(OsTest, BuildEnclaveProducesRunnableLayout) {
+  World w{64};
+  Os::BuildOptions opts;
+  opts.with_shared_page = true;
+  opts.data_init = {42};
+  EnclaveHandle e;
+  // Exit immediately with r1 = 0 (mov r0,#1; svc).
+  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e), kErrSuccess);
+  const spec::PageDb d = spec::ExtractPageDb(w.machine);
+  EXPECT_EQ(d[e.addrspace].type(), PageType::kAddrspace);
+  EXPECT_EQ(d[e.addrspace].As<spec::AddrspacePage>().state, AddrspaceState::kFinal);
+  EXPECT_EQ(d[e.thread].type(), PageType::kDispatcher);
+  ASSERT_EQ(e.data_pages.size(), 3u);  // code, data, stack
+  EXPECT_EQ(d[e.data_pages[1]].As<spec::DataPage>().contents[0], 42u);
+  EXPECT_EQ(w.os.Enter(e.thread).err, kErrSuccess);
+}
+
+TEST(OsTest, BuildEnclavePropagatesMonitorErrors) {
+  World w{8};  // too few pages: builder runs the monitor out of valid pages
+  Os::BuildOptions opts;
+  EnclaveHandle e;
+  // 8 pages suffice for as+l1pt+l2+3 data+thread = 7; a second enclave fails.
+  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e), kErrSuccess);
+  EnclaveHandle e2;
+  EXPECT_NE(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e2), kErrSuccess);
+}
+
+TEST(OsTest, MultipleEnclavesCoexist) {
+  World w{64};
+  Os::BuildOptions o1;
+  Os::BuildOptions o2;
+  EnclaveHandle a;
+  EnclaveHandle b;
+  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &o1, &a), kErrSuccess);
+  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &o2, &b), kErrSuccess);
+  EXPECT_NE(a.addrspace, b.addrspace);
+  EXPECT_EQ(w.os.Enter(a.thread).err, kErrSuccess);
+  EXPECT_EQ(w.os.Enter(b.thread).err, kErrSuccess);
+}
+
+}  // namespace
+}  // namespace komodo::os

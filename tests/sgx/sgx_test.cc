@@ -1,0 +1,178 @@
+// SGX baseline model: EPCM state machine (construction, execution, dynamic
+// memory, paging protocol) and the published crossing latencies used in the
+// §8.1 comparison.
+#include "src/sgx/sgx_model.h"
+
+#include <gtest/gtest.h>
+
+namespace komodo::sgx {
+namespace {
+
+std::array<uint8_t, kSgxPageBytes> Filled(uint8_t b) {
+  std::array<uint8_t, kSgxPageBytes> a;
+  a.fill(b);
+  return a;
+}
+
+class SgxTest : public ::testing::Test {
+ protected:
+  SgxMachine sgx{64};
+
+  // Builds a minimal enclave: SECS at 0, TCS at 1, one REG page at 2.
+  void BuildEnclave() {
+    ASSERT_EQ(sgx.Ecreate(0), SgxStatus::kOk);
+    ASSERT_EQ(sgx.Eadd(0, 1, 0x0000, false, false, EpcmType::kTcs, Filled(0)), SgxStatus::kOk);
+    ASSERT_EQ(sgx.Eadd(0, 2, 0x1000, true, true, EpcmType::kReg, Filled(7)), SgxStatus::kOk);
+    for (word off = 0; off < kSgxPageBytes; off += kEextendChunk) {
+      ASSERT_EQ(sgx.Eextend(0, 2, off), SgxStatus::kOk);
+    }
+    ASSERT_EQ(sgx.Einit(0), SgxStatus::kOk);
+  }
+};
+
+TEST_F(SgxTest, ConstructionLifecycle) {
+  BuildEnclave();
+  EXPECT_TRUE(sgx.Secs(0).initialised);
+  EXPECT_EQ(sgx.Epcm(1).type, EpcmType::kTcs);
+  EXPECT_EQ(sgx.Epcm(2).type, EpcmType::kReg);
+  EXPECT_EQ(sgx.Epcm(2).secs, 0u);
+}
+
+TEST_F(SgxTest, EcreateValidation) {
+  EXPECT_EQ(sgx.Ecreate(64), SgxStatus::kInvalidPage);
+  ASSERT_EQ(sgx.Ecreate(0), SgxStatus::kOk);
+  EXPECT_EQ(sgx.Ecreate(0), SgxStatus::kPageInUse);
+}
+
+TEST_F(SgxTest, EaddValidation) {
+  ASSERT_EQ(sgx.Ecreate(0), SgxStatus::kOk);
+  EXPECT_EQ(sgx.Eadd(5, 1, 0, false, false, EpcmType::kReg, Filled(0)),
+            SgxStatus::kInvalidPage);  // not a SECS
+  EXPECT_EQ(sgx.Eadd(0, 0, 0, false, false, EpcmType::kReg, Filled(0)),
+            SgxStatus::kPageInUse);  // the SECS itself
+  EXPECT_EQ(sgx.Eadd(0, 1, 0x123, false, false, EpcmType::kReg, Filled(0)),
+            SgxStatus::kInvalidLinaddr);
+  EXPECT_EQ(sgx.Eadd(0, 1, 0, false, false, EpcmType::kSecs, Filled(0)),
+            SgxStatus::kInvalidPage);
+  ASSERT_EQ(sgx.Einit(0), SgxStatus::kOk);
+  EXPECT_EQ(sgx.Eadd(0, 1, 0, false, false, EpcmType::kReg, Filled(0)),
+            SgxStatus::kAlreadyInitialised);  // v1: no EADD after EINIT
+}
+
+TEST_F(SgxTest, MrenclaveReflectsContentsAndLayout) {
+  BuildEnclave();
+  const crypto::Digest base = sgx.Mrenclave(0);
+
+  SgxMachine other(64);
+  ASSERT_EQ(other.Ecreate(0), SgxStatus::kOk);
+  ASSERT_EQ(other.Eadd(0, 1, 0x0000, false, false, EpcmType::kTcs, Filled(0)), SgxStatus::kOk);
+  ASSERT_EQ(other.Eadd(0, 2, 0x1000, true, true, EpcmType::kReg, Filled(8)),  // contents differ
+            SgxStatus::kOk);
+  for (word off = 0; off < kSgxPageBytes; off += kEextendChunk) {
+    ASSERT_EQ(other.Eextend(0, 2, off), SgxStatus::kOk);
+  }
+  ASSERT_EQ(other.Einit(0), SgxStatus::kOk);
+  EXPECT_NE(other.Mrenclave(0), base);
+}
+
+TEST_F(SgxTest, UnmeasuredContentNotInMrenclave) {
+  // Matching the real semantics: EADD without EEXTEND leaves contents out of
+  // the measurement — one of the subtle SGX pitfalls.
+  SgxMachine a(64);
+  SgxMachine b(64);
+  for (SgxMachine* m : {&a, &b}) {
+    ASSERT_EQ(m->Ecreate(0), SgxStatus::kOk);
+  }
+  ASSERT_EQ(a.Eadd(0, 1, 0, true, false, EpcmType::kReg, Filled(1)), SgxStatus::kOk);
+  ASSERT_EQ(b.Eadd(0, 1, 0, true, false, EpcmType::kReg, Filled(2)), SgxStatus::kOk);
+  ASSERT_EQ(a.Einit(0), SgxStatus::kOk);
+  ASSERT_EQ(b.Einit(0), SgxStatus::kOk);
+  EXPECT_EQ(a.Mrenclave(0), b.Mrenclave(0));
+}
+
+TEST_F(SgxTest, EnterExitProtocol) {
+  BuildEnclave();
+  EXPECT_EQ(sgx.Eenter(2), SgxStatus::kInvalidPage);  // REG is not a TCS
+  ASSERT_EQ(sgx.Eenter(1), SgxStatus::kOk);
+  EXPECT_EQ(sgx.Eenter(1), SgxStatus::kEntryInProgress);
+  ASSERT_EQ(sgx.Eexit(1), SgxStatus::kOk);
+  EXPECT_EQ(sgx.Eexit(1), SgxStatus::kNotEntered);
+  ASSERT_EQ(sgx.Eresume(1), SgxStatus::kOk);
+  ASSERT_EQ(sgx.Aex(1), SgxStatus::kOk);
+}
+
+TEST_F(SgxTest, EnterRequiresEinit) {
+  ASSERT_EQ(sgx.Ecreate(0), SgxStatus::kOk);
+  ASSERT_EQ(sgx.Eadd(0, 1, 0, false, false, EpcmType::kTcs, Filled(0)), SgxStatus::kOk);
+  EXPECT_EQ(sgx.Eenter(1), SgxStatus::kNotInitialised);
+}
+
+TEST_F(SgxTest, DynamicMemoryEaugEaccept) {
+  BuildEnclave();
+  ASSERT_EQ(sgx.Eaug(0, 5, 0x5000), SgxStatus::kOk);
+  EXPECT_TRUE(sgx.Epcm(5).pending);
+  // Wrong address or stronger permissions rejected.
+  EXPECT_EQ(sgx.Eaccept(5, 0x6000, true, false), SgxStatus::kInvalidLinaddr);
+  EXPECT_EQ(sgx.Eaccept(5, 0x5000, true, true), SgxStatus::kPermMismatch);
+  ASSERT_EQ(sgx.Eaccept(5, 0x5000, true, false), SgxStatus::kOk);
+  EXPECT_FALSE(sgx.Epcm(5).pending);
+  EXPECT_EQ(sgx.Eaccept(5, 0x5000, true, false), SgxStatus::kNotPending);
+}
+
+TEST_F(SgxTest, EaugRequiresInitialisedEnclave) {
+  ASSERT_EQ(sgx.Ecreate(0), SgxStatus::kOk);
+  EXPECT_EQ(sgx.Eaug(0, 5, 0x5000), SgxStatus::kNotInitialised);
+}
+
+TEST_F(SgxTest, EremoveOrdering) {
+  BuildEnclave();
+  EXPECT_EQ(sgx.Eremove(0), SgxStatus::kPageInUse);  // SECS last
+  ASSERT_EQ(sgx.Eenter(1), SgxStatus::kOk);
+  EXPECT_EQ(sgx.Eremove(1), SgxStatus::kEntryInProgress);
+  ASSERT_EQ(sgx.Eexit(1), SgxStatus::kOk);
+  ASSERT_EQ(sgx.Eremove(1), SgxStatus::kOk);
+  ASSERT_EQ(sgx.Eremove(2), SgxStatus::kOk);
+  EXPECT_EQ(sgx.Eremove(0), SgxStatus::kOk);
+}
+
+TEST_F(SgxTest, PagingProtocolRequiresEtrackEpoch) {
+  // The EBLOCK → ETRACK → EWB dance (§2's TLB-shootdown validation).
+  BuildEnclave();
+  std::vector<uint8_t> blob;
+  EXPECT_EQ(sgx.Ewb(2, &blob), SgxStatus::kNotBlocked);
+  ASSERT_EQ(sgx.Eblock(2), SgxStatus::kOk);
+  EXPECT_EQ(sgx.Ewb(2, &blob), SgxStatus::kNotTracked);  // no epoch elapsed
+  ASSERT_EQ(sgx.Etrack(0), SgxStatus::kOk);
+  ASSERT_EQ(sgx.Ewb(2, &blob), SgxStatus::kOk);
+  EXPECT_FALSE(sgx.Epcm(2).valid);
+
+  // Reload and verify integrity checking.
+  ASSERT_EQ(sgx.Eldu(0, 2, 0x1000, blob), SgxStatus::kOk);
+  EXPECT_TRUE(sgx.Epcm(2).valid);
+  std::vector<uint8_t> tampered = blob;
+  ASSERT_EQ(sgx.Eblock(2), SgxStatus::kOk);
+  ASSERT_EQ(sgx.Etrack(0), SgxStatus::kOk);
+  ASSERT_EQ(sgx.Ewb(2, &blob), SgxStatus::kOk);
+  tampered[0] ^= 1;
+  EXPECT_EQ(sgx.Eldu(0, 2, 0x1000, tampered), SgxStatus::kInvalidLinaddr);
+}
+
+TEST_F(SgxTest, EtrackBlockedWhileThreadsInside) {
+  BuildEnclave();
+  ASSERT_EQ(sgx.Eenter(1), SgxStatus::kOk);
+  EXPECT_EQ(sgx.Etrack(0), SgxStatus::kEntryInProgress);
+  ASSERT_EQ(sgx.Eexit(1), SgxStatus::kOk);
+  EXPECT_EQ(sgx.Etrack(0), SgxStatus::kOk);
+}
+
+TEST_F(SgxTest, CrossingCostsMatchPublishedNumbers) {
+  BuildEnclave();
+  sgx.ResetCycles();
+  ASSERT_EQ(sgx.Eenter(1), SgxStatus::kOk);
+  ASSERT_EQ(sgx.Eexit(1), SgxStatus::kOk);
+  // §8.1 quotes ~3,800 + ~3,300 = ~7,100 cycles for a full crossing.
+  EXPECT_EQ(sgx.cycles(), 7100u);
+}
+
+}  // namespace
+}  // namespace komodo::sgx

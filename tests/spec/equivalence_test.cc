@@ -1,0 +1,136 @@
+// Unit tests for the observational-equivalence relations of §6.1
+// (Definitions 1 and 2, and the ≈adv machine-state extension).
+#include "src/spec/equivalence.h"
+
+#include <gtest/gtest.h>
+
+namespace komodo::spec {
+namespace {
+
+PageDbEntry Data(PageNr owner, word fill) {
+  DataPage d;
+  d.contents.fill(fill);
+  return PageDbEntry{owner, d};
+}
+
+PageDbEntry Disp(PageNr owner, bool entered, word pc) {
+  DispatcherPage disp;
+  disp.entered = entered;
+  disp.pc = pc;
+  return PageDbEntry{owner, disp};
+}
+
+TEST(WeakEquivTest, DataPagesEqualRegardlessOfContents) {
+  EXPECT_TRUE(WeakEquivPage(Data(0, 1), Data(0, 2)));
+}
+
+TEST(WeakEquivTest, TypeMismatchDetected) {
+  EXPECT_FALSE(WeakEquivPage(Data(0, 1), PageDbEntry{0, SparePage{}}));
+  EXPECT_FALSE(WeakEquivPage(PageDbEntry{kInvalidPage, FreePage{}}, Data(0, 1)));
+}
+
+TEST(WeakEquivTest, DispatcherEnteredFlagObservableContextNot) {
+  EXPECT_TRUE(WeakEquivPage(Disp(0, false, 0x100), Disp(0, false, 0x999)));
+  EXPECT_TRUE(WeakEquivPage(Disp(0, true, 0x100), Disp(0, true, 0x999)));
+  EXPECT_FALSE(WeakEquivPage(Disp(0, true, 0x100), Disp(0, false, 0x100)));
+}
+
+TEST(WeakEquivTest, AddrspaceRequiresFullEquality) {
+  AddrspacePage as1;
+  as1.l1pt_page = 1;
+  as1.refcount = 2;
+  AddrspacePage as2 = as1;
+  EXPECT_TRUE(WeakEquivPage(PageDbEntry{0, as1}, PageDbEntry{0, as2}));
+  as2.measurement[0] = 1;
+  EXPECT_FALSE(WeakEquivPage(PageDbEntry{0, as1}, PageDbEntry{0, as2}));
+}
+
+TEST(WeakEquivTest, PageTablesRequireFullEquality) {
+  L2PTablePage l2a;
+  L2PTablePage l2b;
+  EXPECT_TRUE(WeakEquivPage(PageDbEntry{0, l2a}, PageDbEntry{0, l2b}));
+  l2b.entries[3] = SecureMapping{4, true, false};
+  EXPECT_FALSE(WeakEquivPage(PageDbEntry{0, l2a}, PageDbEntry{0, l2b}));
+}
+
+class EncEquivTest : public ::testing::Test {
+ protected:
+  EncEquivTest() : d1(8), d2(8) {
+    // Two enclaves: observer (as=0) with data page 1; other (as=2) with data
+    // page 3.
+    AddrspacePage as;
+    as.l1pt_page = 4;
+    as.refcount = 2;
+    d1[0] = d2[0] = PageDbEntry{0, as};
+    d1[1] = Data(0, 7);
+    d2[1] = Data(0, 7);
+    d1[2] = d2[2] = PageDbEntry{2, as};
+    d1[3] = Data(2, 1);
+    d2[3] = Data(2, 99);  // other enclave's secret differs
+    d1[4] = d2[4] = PageDbEntry{0, L1PTablePage{}};
+  }
+  PageDb d1;
+  PageDb d2;
+};
+
+TEST_F(EncEquivTest, RelatedWhenOnlyForeignSecretsDiffer) {
+  const auto violations = EncEquivViolations(d1, d2, 0);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST_F(EncEquivTest, OwnPagesMustBeFullyEqual) {
+  d2[1] = Data(0, 8);  // observer's own data page differs
+  EXPECT_FALSE(ObsEquivEnc(d1, d2, 0));
+  // From the other enclave's perspective, page 1 is foreign — after aligning
+  // its *own* page (3, which the fixture left different), the states relate.
+  d2[3] = Data(2, 1);
+  EXPECT_TRUE(ObsEquivEnc(d1, d2, 2));
+}
+
+TEST_F(EncEquivTest, FreeSetMustAgree) {
+  d2[5] = Data(2, 0);
+  EXPECT_FALSE(ObsEquivEnc(d1, d2, 0));
+}
+
+TEST_F(EncEquivTest, OwnershipSetMustAgree) {
+  d1[5] = Data(0, 0);
+  d2[5] = Data(2, 0);
+  EXPECT_FALSE(ObsEquivEnc(d1, d2, 0));
+}
+
+TEST(AdvEquivTest, RegistersAndInsecureMemoryObservable) {
+  arm::MachineState m1(8);
+  arm::MachineState m2(8);
+  PageDb d1(8);
+  PageDb d2(8);
+  EXPECT_TRUE(ObsEquivAdv(m1, d1, m2, d2, kInvalidPage));
+
+  m2.r[3] = 5;
+  EXPECT_FALSE(ObsEquivAdv(m1, d1, m2, d2, kInvalidPage));
+  m2.r[3] = 0;
+
+  m2.mem.Write(arm::kInsecureBase + 0x2000, 1);
+  EXPECT_FALSE(ObsEquivAdv(m1, d1, m2, d2, kInvalidPage));
+  m2.mem.Write(arm::kInsecureBase + 0x2000, 0);
+
+  m2.sp_banked[static_cast<size_t>(arm::Mode::kIrq)] = 9;
+  EXPECT_FALSE(ObsEquivAdv(m1, d1, m2, d2, kInvalidPage));
+  m2.sp_banked[static_cast<size_t>(arm::Mode::kIrq)] = 0;
+  EXPECT_TRUE(ObsEquivAdv(m1, d1, m2, d2, kInvalidPage));
+}
+
+TEST(AdvEquivTest, MonitorBankAndSecureMemoryInvisible) {
+  arm::MachineState m1(8);
+  arm::MachineState m2(8);
+  PageDb d1(8);
+  PageDb d2(8);
+  // Monitor-mode banked state and secure RAM are not adversary-observable.
+  m2.sp_banked[static_cast<size_t>(arm::Mode::kMonitor)] = 0x1234;
+  m2.lr_banked[static_cast<size_t>(arm::Mode::kMonitor)] = 0x5678;
+  m2.mem.Write(arm::kMonitorBase + 0x40, 0xdead);
+  m2.mem.Write(arm::kSecurePagesBase + 0x40, 0xbeef);
+  EXPECT_TRUE(ObsEquivAdv(m1, d1, m2, d2, kInvalidPage));
+}
+
+}  // namespace
+}  // namespace komodo::spec
