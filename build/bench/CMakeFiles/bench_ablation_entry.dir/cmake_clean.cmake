@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_entry.dir/bench_ablation_entry.cpp.o"
+  "CMakeFiles/bench_ablation_entry.dir/bench_ablation_entry.cpp.o.d"
+  "bench_ablation_entry"
+  "bench_ablation_entry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_entry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

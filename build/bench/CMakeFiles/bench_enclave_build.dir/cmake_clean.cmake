@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enclave_build.dir/bench_enclave_build.cpp.o"
+  "CMakeFiles/bench_enclave_build.dir/bench_enclave_build.cpp.o.d"
+  "bench_enclave_build"
+  "bench_enclave_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enclave_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_notary.dir/bench_fig5_notary.cpp.o"
+  "CMakeFiles/bench_fig5_notary.dir/bench_fig5_notary.cpp.o.d"
+  "bench_fig5_notary"
+  "bench_fig5_notary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_notary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sgx_comparison.dir/bench_sgx_comparison.cpp.o"
+  "CMakeFiles/bench_sgx_comparison.dir/bench_sgx_comparison.cpp.o.d"
+  "bench_sgx_comparison"
+  "bench_sgx_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sgx_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_linecounts.dir/bench_table2_linecounts.cpp.o"
+  "CMakeFiles/bench_table2_linecounts.dir/bench_table2_linecounts.cpp.o.d"
+  "bench_table2_linecounts"
+  "bench_table2_linecounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_linecounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attested_channel.dir/attested_channel.cpp.o"
+  "CMakeFiles/attested_channel.dir/attested_channel.cpp.o.d"
+  "attested_channel"
+  "attested_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attested_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

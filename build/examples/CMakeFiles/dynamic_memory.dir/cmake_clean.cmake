@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_memory.dir/dynamic_memory.cpp.o"
+  "CMakeFiles/dynamic_memory.dir/dynamic_memory.cpp.o.d"
+  "dynamic_memory"
+  "dynamic_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

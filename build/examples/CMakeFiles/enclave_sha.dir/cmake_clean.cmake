@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclave_sha.dir/enclave_sha.cpp.o"
+  "CMakeFiles/enclave_sha.dir/enclave_sha.cpp.o.d"
+  "enclave_sha"
+  "enclave_sha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclave_sha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notary_demo.dir/notary_demo.cpp.o"
+  "CMakeFiles/notary_demo.dir/notary_demo.cpp.o.d"
+  "notary_demo"
+  "notary_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notary_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_attestation.dir/remote_attestation.cpp.o"
+  "CMakeFiles/remote_attestation.dir/remote_attestation.cpp.o.d"
+  "remote_attestation"
+  "remote_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;komodo_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_notary_demo "/root/repo/build/examples/notary_demo")
+set_tests_properties(example_notary_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;komodo_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_attested_channel "/root/repo/build/examples/attested_channel")
+set_tests_properties(example_attested_channel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;komodo_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dynamic_memory "/root/repo/build/examples/dynamic_memory")
+set_tests_properties(example_dynamic_memory PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;komodo_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adversary_drill "/root/repo/build/examples/adversary_drill")
+set_tests_properties(example_adversary_drill PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;komodo_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_remote_attestation "/root/repo/build/examples/remote_attestation")
+set_tests_properties(example_remote_attestation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;komodo_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_enclave_sha "/root/repo/build/examples/enclave_sha")
+set_tests_properties(example_enclave_sha PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;komodo_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_password_vault "/root/repo/build/examples/password_vault")
+set_tests_properties(example_password_vault PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;16;komodo_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arm/assembler.cc" "src/arm/CMakeFiles/komodo_arm.dir/assembler.cc.o" "gcc" "src/arm/CMakeFiles/komodo_arm.dir/assembler.cc.o.d"
+  "/root/repo/src/arm/execute.cc" "src/arm/CMakeFiles/komodo_arm.dir/execute.cc.o" "gcc" "src/arm/CMakeFiles/komodo_arm.dir/execute.cc.o.d"
+  "/root/repo/src/arm/isa.cc" "src/arm/CMakeFiles/komodo_arm.dir/isa.cc.o" "gcc" "src/arm/CMakeFiles/komodo_arm.dir/isa.cc.o.d"
+  "/root/repo/src/arm/machine.cc" "src/arm/CMakeFiles/komodo_arm.dir/machine.cc.o" "gcc" "src/arm/CMakeFiles/komodo_arm.dir/machine.cc.o.d"
+  "/root/repo/src/arm/memory.cc" "src/arm/CMakeFiles/komodo_arm.dir/memory.cc.o" "gcc" "src/arm/CMakeFiles/komodo_arm.dir/memory.cc.o.d"
+  "/root/repo/src/arm/page_table.cc" "src/arm/CMakeFiles/komodo_arm.dir/page_table.cc.o" "gcc" "src/arm/CMakeFiles/komodo_arm.dir/page_table.cc.o.d"
+  "/root/repo/src/arm/psr.cc" "src/arm/CMakeFiles/komodo_arm.dir/psr.cc.o" "gcc" "src/arm/CMakeFiles/komodo_arm.dir/psr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/komodo_arm.dir/assembler.cc.o"
+  "CMakeFiles/komodo_arm.dir/assembler.cc.o.d"
+  "CMakeFiles/komodo_arm.dir/execute.cc.o"
+  "CMakeFiles/komodo_arm.dir/execute.cc.o.d"
+  "CMakeFiles/komodo_arm.dir/isa.cc.o"
+  "CMakeFiles/komodo_arm.dir/isa.cc.o.d"
+  "CMakeFiles/komodo_arm.dir/machine.cc.o"
+  "CMakeFiles/komodo_arm.dir/machine.cc.o.d"
+  "CMakeFiles/komodo_arm.dir/memory.cc.o"
+  "CMakeFiles/komodo_arm.dir/memory.cc.o.d"
+  "CMakeFiles/komodo_arm.dir/page_table.cc.o"
+  "CMakeFiles/komodo_arm.dir/page_table.cc.o.d"
+  "CMakeFiles/komodo_arm.dir/psr.cc.o"
+  "CMakeFiles/komodo_arm.dir/psr.cc.o.d"
+  "libkomodo_arm.a"
+  "libkomodo_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/komodo_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

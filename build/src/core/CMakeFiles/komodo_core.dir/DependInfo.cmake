@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/komodo_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/komodo_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/monitor_exec.cc" "src/core/CMakeFiles/komodo_core.dir/monitor_exec.cc.o" "gcc" "src/core/CMakeFiles/komodo_core.dir/monitor_exec.cc.o.d"
+  "/root/repo/src/core/pagedb.cc" "src/core/CMakeFiles/komodo_core.dir/pagedb.cc.o" "gcc" "src/core/CMakeFiles/komodo_core.dir/pagedb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arm/CMakeFiles/komodo_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/komodo_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

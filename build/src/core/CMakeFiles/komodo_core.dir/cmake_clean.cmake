@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/komodo_core.dir/monitor.cc.o"
+  "CMakeFiles/komodo_core.dir/monitor.cc.o.d"
+  "CMakeFiles/komodo_core.dir/monitor_exec.cc.o"
+  "CMakeFiles/komodo_core.dir/monitor_exec.cc.o.d"
+  "CMakeFiles/komodo_core.dir/pagedb.cc.o"
+  "CMakeFiles/komodo_core.dir/pagedb.cc.o.d"
+  "libkomodo_core.a"
+  "libkomodo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/komodo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkomodo_core.a"
+)

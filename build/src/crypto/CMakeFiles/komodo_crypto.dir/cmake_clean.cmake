@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/komodo_crypto.dir/bignum.cc.o"
+  "CMakeFiles/komodo_crypto.dir/bignum.cc.o.d"
+  "CMakeFiles/komodo_crypto.dir/drbg.cc.o"
+  "CMakeFiles/komodo_crypto.dir/drbg.cc.o.d"
+  "CMakeFiles/komodo_crypto.dir/hmac.cc.o"
+  "CMakeFiles/komodo_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/komodo_crypto.dir/rsa.cc.o"
+  "CMakeFiles/komodo_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/komodo_crypto.dir/sha256.cc.o"
+  "CMakeFiles/komodo_crypto.dir/sha256.cc.o.d"
+  "libkomodo_crypto.a"
+  "libkomodo_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/komodo_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enclave/native_runtime.cc" "src/enclave/CMakeFiles/komodo_enclave.dir/native_runtime.cc.o" "gcc" "src/enclave/CMakeFiles/komodo_enclave.dir/native_runtime.cc.o.d"
+  "/root/repo/src/enclave/notary.cc" "src/enclave/CMakeFiles/komodo_enclave.dir/notary.cc.o" "gcc" "src/enclave/CMakeFiles/komodo_enclave.dir/notary.cc.o.d"
+  "/root/repo/src/enclave/programs.cc" "src/enclave/CMakeFiles/komodo_enclave.dir/programs.cc.o" "gcc" "src/enclave/CMakeFiles/komodo_enclave.dir/programs.cc.o.d"
+  "/root/repo/src/enclave/sha256_program.cc" "src/enclave/CMakeFiles/komodo_enclave.dir/sha256_program.cc.o" "gcc" "src/enclave/CMakeFiles/komodo_enclave.dir/sha256_program.cc.o.d"
+  "/root/repo/src/enclave/signing_enclave.cc" "src/enclave/CMakeFiles/komodo_enclave.dir/signing_enclave.cc.o" "gcc" "src/enclave/CMakeFiles/komodo_enclave.dir/signing_enclave.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arm/CMakeFiles/komodo_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/komodo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/komodo_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/komodo_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

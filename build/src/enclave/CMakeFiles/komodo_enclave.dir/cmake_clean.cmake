@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/komodo_enclave.dir/native_runtime.cc.o"
+  "CMakeFiles/komodo_enclave.dir/native_runtime.cc.o.d"
+  "CMakeFiles/komodo_enclave.dir/notary.cc.o"
+  "CMakeFiles/komodo_enclave.dir/notary.cc.o.d"
+  "CMakeFiles/komodo_enclave.dir/programs.cc.o"
+  "CMakeFiles/komodo_enclave.dir/programs.cc.o.d"
+  "CMakeFiles/komodo_enclave.dir/sha256_program.cc.o"
+  "CMakeFiles/komodo_enclave.dir/sha256_program.cc.o.d"
+  "CMakeFiles/komodo_enclave.dir/signing_enclave.cc.o"
+  "CMakeFiles/komodo_enclave.dir/signing_enclave.cc.o.d"
+  "libkomodo_enclave.a"
+  "libkomodo_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/komodo_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/adversary.cc" "src/os/CMakeFiles/komodo_os.dir/adversary.cc.o" "gcc" "src/os/CMakeFiles/komodo_os.dir/adversary.cc.o.d"
+  "/root/repo/src/os/os.cc" "src/os/CMakeFiles/komodo_os.dir/os.cc.o" "gcc" "src/os/CMakeFiles/komodo_os.dir/os.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arm/CMakeFiles/komodo_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/komodo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/komodo_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

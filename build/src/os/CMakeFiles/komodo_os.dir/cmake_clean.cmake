@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/komodo_os.dir/adversary.cc.o"
+  "CMakeFiles/komodo_os.dir/adversary.cc.o.d"
+  "CMakeFiles/komodo_os.dir/os.cc.o"
+  "CMakeFiles/komodo_os.dir/os.cc.o.d"
+  "libkomodo_os.a"
+  "libkomodo_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/komodo_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

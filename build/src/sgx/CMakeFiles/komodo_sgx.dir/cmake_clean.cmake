@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/komodo_sgx.dir/sgx_model.cc.o"
+  "CMakeFiles/komodo_sgx.dir/sgx_model.cc.o.d"
+  "libkomodo_sgx.a"
+  "libkomodo_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/komodo_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/abstract_state.cc" "src/spec/CMakeFiles/komodo_spec.dir/abstract_state.cc.o" "gcc" "src/spec/CMakeFiles/komodo_spec.dir/abstract_state.cc.o.d"
+  "/root/repo/src/spec/equivalence.cc" "src/spec/CMakeFiles/komodo_spec.dir/equivalence.cc.o" "gcc" "src/spec/CMakeFiles/komodo_spec.dir/equivalence.cc.o.d"
+  "/root/repo/src/spec/extract.cc" "src/spec/CMakeFiles/komodo_spec.dir/extract.cc.o" "gcc" "src/spec/CMakeFiles/komodo_spec.dir/extract.cc.o.d"
+  "/root/repo/src/spec/invariants.cc" "src/spec/CMakeFiles/komodo_spec.dir/invariants.cc.o" "gcc" "src/spec/CMakeFiles/komodo_spec.dir/invariants.cc.o.d"
+  "/root/repo/src/spec/spec_calls.cc" "src/spec/CMakeFiles/komodo_spec.dir/spec_calls.cc.o" "gcc" "src/spec/CMakeFiles/komodo_spec.dir/spec_calls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arm/CMakeFiles/komodo_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/komodo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/komodo_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

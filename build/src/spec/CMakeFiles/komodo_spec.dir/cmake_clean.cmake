@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/komodo_spec.dir/abstract_state.cc.o"
+  "CMakeFiles/komodo_spec.dir/abstract_state.cc.o.d"
+  "CMakeFiles/komodo_spec.dir/equivalence.cc.o"
+  "CMakeFiles/komodo_spec.dir/equivalence.cc.o.d"
+  "CMakeFiles/komodo_spec.dir/extract.cc.o"
+  "CMakeFiles/komodo_spec.dir/extract.cc.o.d"
+  "CMakeFiles/komodo_spec.dir/invariants.cc.o"
+  "CMakeFiles/komodo_spec.dir/invariants.cc.o.d"
+  "CMakeFiles/komodo_spec.dir/spec_calls.cc.o"
+  "CMakeFiles/komodo_spec.dir/spec_calls.cc.o.d"
+  "libkomodo_spec.a"
+  "libkomodo_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/komodo_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

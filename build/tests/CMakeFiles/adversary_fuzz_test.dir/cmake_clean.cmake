@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_fuzz_test.dir/os/adversary_fuzz_test.cc.o"
+  "CMakeFiles/adversary_fuzz_test.dir/os/adversary_fuzz_test.cc.o.d"
+  "adversary_fuzz_test"
+  "adversary_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycle_regression_test.dir/core/cycle_regression_test.cc.o"
+  "CMakeFiles/cycle_regression_test.dir/core/cycle_regression_test.cc.o.d"
+  "cycle_regression_test"
+  "cycle_regression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycle_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declassification_test.dir/spec/declassification_test.cc.o"
+  "CMakeFiles/declassification_test.dir/spec/declassification_test.cc.o.d"
+  "declassification_test"
+  "declassification_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declassification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

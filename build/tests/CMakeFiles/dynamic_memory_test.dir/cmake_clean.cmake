@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_memory_test.dir/core/dynamic_memory_test.cc.o"
+  "CMakeFiles/dynamic_memory_test.dir/core/dynamic_memory_test.cc.o.d"
+  "dynamic_memory_test"
+  "dynamic_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclave_fuzz_test.dir/core/enclave_fuzz_test.cc.o"
+  "CMakeFiles/enclave_fuzz_test.dir/core/enclave_fuzz_test.cc.o.d"
+  "enclave_fuzz_test"
+  "enclave_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclave_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

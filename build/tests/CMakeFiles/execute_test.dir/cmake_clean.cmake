@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/execute_test.dir/arm/execute_test.cc.o"
+  "CMakeFiles/execute_test.dir/arm/execute_test.cc.o.d"
+  "execute_test"
+  "execute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/execute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpreted_os_test.dir/os/interpreted_os_test.cc.o"
+  "CMakeFiles/interpreted_os_test.dir/os/interpreted_os_test.cc.o.d"
+  "interpreted_os_test"
+  "interpreted_os_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpreted_os_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

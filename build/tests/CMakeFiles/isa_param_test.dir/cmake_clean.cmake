@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_param_test.dir/arm/isa_param_test.cc.o"
+  "CMakeFiles/isa_param_test.dir/arm/isa_param_test.cc.o.d"
+  "isa_param_test"
+  "isa_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_roundtrip_test.dir/arm/isa_roundtrip_test.cc.o"
+  "CMakeFiles/isa_roundtrip_test.dir/arm/isa_roundtrip_test.cc.o.d"
+  "isa_roundtrip_test"
+  "isa_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_exec_test.dir/core/monitor_exec_test.cc.o"
+  "CMakeFiles/monitor_exec_test.dir/core/monitor_exec_test.cc.o.d"
+  "monitor_exec_test"
+  "monitor_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

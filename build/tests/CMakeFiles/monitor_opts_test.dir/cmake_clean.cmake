@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_opts_test.dir/core/monitor_opts_test.cc.o"
+  "CMakeFiles/monitor_opts_test.dir/core/monitor_opts_test.cc.o.d"
+  "monitor_opts_test"
+  "monitor_opts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_opts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

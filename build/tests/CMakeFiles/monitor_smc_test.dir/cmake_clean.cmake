@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_smc_test.dir/core/monitor_smc_test.cc.o"
+  "CMakeFiles/monitor_smc_test.dir/core/monitor_smc_test.cc.o.d"
+  "monitor_smc_test"
+  "monitor_smc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_smc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multithread_test.dir/core/multithread_test.cc.o"
+  "CMakeFiles/multithread_test.dir/core/multithread_test.cc.o.d"
+  "multithread_test"
+  "multithread_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multithread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

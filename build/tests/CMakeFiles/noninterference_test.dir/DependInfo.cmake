@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spec/noninterference_test.cc" "tests/CMakeFiles/noninterference_test.dir/spec/noninterference_test.cc.o" "gcc" "tests/CMakeFiles/noninterference_test.dir/spec/noninterference_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/enclave/CMakeFiles/komodo_enclave.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/komodo_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/komodo_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/komodo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/komodo_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm/CMakeFiles/komodo_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/komodo_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

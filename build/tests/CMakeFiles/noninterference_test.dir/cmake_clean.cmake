@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noninterference_test.dir/spec/noninterference_test.cc.o"
+  "CMakeFiles/noninterference_test.dir/spec/noninterference_test.cc.o.d"
+  "noninterference_test"
+  "noninterference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noninterference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

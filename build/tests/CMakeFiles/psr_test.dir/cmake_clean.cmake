@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psr_test.dir/arm/psr_test.cc.o"
+  "CMakeFiles/psr_test.dir/arm/psr_test.cc.o.d"
+  "psr_test"
+  "psr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signing_enclave_test.dir/enclave/signing_enclave_test.cc.o"
+  "CMakeFiles/signing_enclave_test.dir/enclave/signing_enclave_test.cc.o.d"
+  "signing_enclave_test"
+  "signing_enclave_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signing_enclave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

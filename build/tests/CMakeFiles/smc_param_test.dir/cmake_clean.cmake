@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smc_param_test.dir/core/smc_param_test.cc.o"
+  "CMakeFiles/smc_param_test.dir/core/smc_param_test.cc.o.d"
+  "smc_param_test"
+  "smc_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smc_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

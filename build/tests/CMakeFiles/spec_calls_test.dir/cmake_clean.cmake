@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_calls_test.dir/spec/spec_calls_test.cc.o"
+  "CMakeFiles/spec_calls_test.dir/spec/spec_calls_test.cc.o.d"
+  "spec_calls_test"
+  "spec_calls_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_calls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
