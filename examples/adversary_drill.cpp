@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "src/arm/assembler.h"
+#include "src/enclave/example_programs.h"
 #include "src/os/world.h"
 #include "src/spec/extract.h"
 
@@ -23,27 +24,13 @@ void Check(const char* attack, bool rejected, const char* how) {
   }
 }
 
-// The victim computes on a secret in its data page and exits 0.
-std::vector<word> VictimProgram() {
-  arm::Assembler a(os::kEnclaveCodeVa);
-  using namespace arm;
-  a.MovImm(R4, os::kEnclaveDataVa);
-  a.Ldr(R5, R4, 0);
-  a.Mul(R6, R5, R5);
-  a.Str(R6, R4, 4);
-  a.MovImm(R1, 0);
-  a.MovImm(R0, kSvcExit);
-  a.Svc();
-  return a.Finish();
-}
-
 }  // namespace
 
 int main() {
   os::World world{64};
   os::Os::BuildOptions opts;
   os::EnclaveHandle victim;
-  if (world.os.BuildEnclave(VictimProgram(), &opts, &victim) != kErrSuccess) {
+  if (world.os.BuildEnclave(enclave::DrillVictimProgram(), &opts, &victim) != kErrSuccess) {
     return 1;
   }
   // A secret arrives in the victim (modelled as a secure-channel delivery).

@@ -6,7 +6,7 @@
 //   $ ./examples/dynamic_memory
 #include <cstdio>
 
-#include "src/arm/assembler.h"
+#include "src/enclave/example_programs.h"
 #include "src/os/world.h"
 #include "src/spec/extract.h"
 
@@ -14,25 +14,9 @@ using namespace komodo;
 
 namespace {
 
-// Enclave: receives two spare page numbers; maps one as heap at 0x30000,
-// writes a value, and deliberately leaves the second spare untouched.
-std::vector<word> HeapProgram() {
-  arm::Assembler a(os::kEnclaveCodeVa);
-  using namespace arm;
-  a.Mov(R7, R0);  // spare #1
-  a.MovImm(R0, kSvcMapData);
-  a.Mov(R1, R7);
-  a.MovImm(R2, MakeMapping(0x30000, kMapR | kMapW));
-  a.Svc();
-  a.MovImm(R4, 0x30000);
-  a.MovImm(R5, 0xfeed);
-  a.Str(R5, R4, 0);
-  a.Ldr(R1, R4, 0);
-  a.MovImm(R0, kSvcExit);
-  a.Svc();
-  return a.Finish();
-}
-
+// The enclave (enclave::HeapProgram) receives two spare page numbers; it maps
+// one as heap at 0x30000, writes a value, and deliberately leaves the second
+// spare untouched.
 const char* TypeName(PageType t) {
   switch (t) {
     case PageType::kFree:
@@ -52,7 +36,7 @@ int main() {
   os::World world{64};
   os::Os::BuildOptions opts;
   os::EnclaveHandle e;
-  if (world.os.BuildEnclave(HeapProgram(), &opts, &e) != kErrSuccess) {
+  if (world.os.BuildEnclave(enclave::HeapProgram(), &opts, &e) != kErrSuccess) {
     return 1;
   }
 

@@ -3,80 +3,29 @@
 // the secret nor reset the enclave's lockout counter — the intro's motivating
 // scenario of keeping credentials safe from a compromised kernel.
 //
-// Vault policy (all enforced by interpreted enclave code):
-//   * a guess is compared word-by-word against the secret, constant pattern;
+// Vault policy (all enforced by interpreted enclave code — see
+// enclave::VaultProgram in src/enclave/example_programs.cc):
+//   * a guess is compared word-by-word against the secret, constant-time:
+//     outcomes are selected with bitmasks so no branch or access pattern
+//     depends on the secret (komodo-lint verifies this statically);
 //   * 3 wrong guesses lock the vault permanently (counter in the data page);
 //   * on a correct guess the vault releases its payload to the shared page.
 //
 //   $ ./examples/password_vault
 #include <cstdio>
 
-#include "src/arm/assembler.h"
+#include "src/enclave/example_programs.h"
 #include "src/os/world.h"
 
 using namespace komodo;
+using enclave::VaultProgram;
 
 namespace {
 
-constexpr word kMaxAttempts = 3;
 // Data-page layout: words 0..3 secret, word 4 failed-attempt count,
 // words 5..8 payload released on success.
 // Shared-page layout: words 0..3 guess; word 4 result (1 ok / 0 bad / 2
 // locked); words 5..8 released payload.
-
-std::vector<word> VaultProgram() {
-  arm::Assembler a(os::kEnclaveCodeVa);
-  using namespace arm;
-  Assembler::Label locked = a.NewLabel();
-  Assembler::Label wrong = a.NewLabel();
-  Assembler::Label out = a.NewLabel();
-
-  a.MovImm(R4, os::kEnclaveDataVa);
-  a.MovImm(R5, os::kEnclaveSharedVa);
-
-  // Locked already?
-  a.Ldr(R6, R4, 16);  // attempts
-  a.Cmp(R6, kMaxAttempts);
-  a.B(locked, Cond::kCs);  // attempts >= max
-
-  // Compare the guess against the secret: accumulate XOR differences so the
-  // access pattern is guess-independent.
-  a.MovImm(R7, 0);
-  for (int i = 0; i < 4; ++i) {
-    a.Ldr(R8, R4, i * 4);   // secret word
-    a.Ldr(R9, R5, i * 4);   // guess word
-    a.Eor(R8, R8, R9);
-    a.Orr(R7, R7, R8);
-  }
-  a.Cmp(R7, 0u);
-  a.B(wrong, Cond::kNe);
-
-  // Correct: release the payload and reset the counter.
-  for (int i = 0; i < 4; ++i) {
-    a.Ldr(R8, R4, 20 + i * 4);
-    a.Str(R8, R5, 20 + i * 4);
-  }
-  a.MovImm(R6, 0);
-  a.Str(R6, R4, 16);
-  a.MovImm(R10, 1);
-  a.B(out);
-
-  a.Bind(wrong);
-  a.Add(R6, R6, 1u);
-  a.Str(R6, R4, 16);
-  a.MovImm(R10, 0);
-  a.B(out);
-
-  a.Bind(locked);
-  a.MovImm(R10, 2);
-
-  a.Bind(out);
-  a.Str(R10, R5, 16);  // result word
-  a.Mov(R1, R10);
-  a.MovImm(R0, kSvcExit);
-  a.Svc();
-  return a.Finish();
-}
 
 const char* ResultName(word r) {
   switch (r) {

@@ -4,7 +4,7 @@
 //   $ ./examples/quickstart
 #include <cstdio>
 
-#include "src/arm/assembler.h"
+#include "src/enclave/example_programs.h"
 #include "src/os/world.h"
 #include "src/spec/extract.h"
 
@@ -16,17 +16,13 @@ int main() {
   os::World world{64};
   std::printf("monitor reports %u secure pages\n", world.os.GetPhysPages());
 
-  // 2. Write the enclave: r1 = arg1 + arg2, then the Exit supervisor call.
-  arm::Assembler a(os::kEnclaveCodeVa);
-  a.Add(arm::R1, arm::R0, arm::R1);
-  a.MovImm(arm::R0, kSvcExit);
-  a.Svc();
-
+  // 2. The enclave: r1 = arg1 + arg2, then the Exit supervisor call — three
+  //    instructions, assembled in enclave::QuickstartProgram().
   // 3. Construct it through the monitor: address space, page tables, measured
   //    code/data pages, a thread, finalise. BuildEnclave wraps the SMC calls.
   os::Os::BuildOptions opts;
   os::EnclaveHandle enclave;
-  const word err = world.os.BuildEnclave(a.Finish(), &opts, &enclave);
+  const word err = world.os.BuildEnclave(enclave::QuickstartProgram(), &opts, &enclave);
   if (err != kErrSuccess) {
     std::printf("enclave construction failed: %s\n", KomErrName(err));
     return 1;

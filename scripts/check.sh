@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Pre-merge gate: tier-1 build + tests, an ASan+UBSan build of the full test
+# suite, and the komodo-lint static analysis of every shipped enclave program.
+# Any failure — including a single lint finding — fails the script.
+#
+# Usage: scripts/check.sh [--skip-sanitizers]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Prefer Ninja for fresh build trees; an already-configured tree keeps
+# whatever generator it was created with.
+generator_for() {
+  if [[ ! -f "$1/CMakeCache.txt" ]] && command -v ninja >/dev/null 2>&1; then
+    echo "-G Ninja"
+  fi
+}
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SKIP_SANITIZERS=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizers) SKIP_SANITIZERS=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== [1/4] tier-1: configure + build ==="
+cmake -B build -S . $(generator_for build) -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "=== [2/4] tier-1: ctest ==="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== [3/4] komodo-lint: shipped programs + fixtures ==="
+./build/tools/komodo-lint --check-shipped
+./build/tools/komodo-lint --check-fixtures
+
+if [[ "$SKIP_SANITIZERS" == 1 ]]; then
+  echo "=== [4/4] sanitizers: skipped (--skip-sanitizers) ==="
+else
+  echo "=== [4/4] ASan+UBSan build + ctest ==="
+  cmake -B build-asan -S . $(generator_for build-asan) \
+    -DKOMODO_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+# clang-tidy is optional: the reference container only ships gcc.
+if command -v clang-tidy >/dev/null 2>&1 && [[ -f build/compile_commands.json ]]; then
+  echo "=== extra: clang-tidy (src/core src/spec src/analysis) ==="
+  clang-tidy -p build --quiet \
+    src/core/*.cc src/spec/*.cc src/analysis/*.cc
+else
+  echo "=== extra: clang-tidy not found; skipping (config: .clang-tidy) ==="
+fi
+
+echo "OK: all checks passed"

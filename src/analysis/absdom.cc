@@ -1,0 +1,20 @@
+#include "src/analysis/absdom.h"
+
+#include "src/os/os.h"
+
+namespace komodo::analysis {
+
+MemoryLayout MemoryLayout::DefaultEnclaveLayout() {
+  MemoryLayout layout;
+  // The code range is prepended by the analyzer once the program extent is
+  // known. Everything at or above the shared VA is insecure by convention
+  // (the notary maps hundreds of shared pages there).
+  layout.ranges.push_back({os::kEnclaveDataVa, arm::kPageSize, Region::kSecret});
+  layout.ranges.push_back({os::kEnclaveStackVa, arm::kPageSize, Region::kSecret});
+  layout.ranges.push_back(
+      {os::kEnclaveSharedVa, arm::kEnclaveVaLimit - os::kEnclaveSharedVa, Region::kPublic});
+  layout.fallback = Region::kSecret;
+  return layout;
+}
+
+}  // namespace komodo::analysis

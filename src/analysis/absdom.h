@@ -1,0 +1,106 @@
+// Abstract domain of the taint pass: a product of a two-point taint lattice
+// (public <= secret) and a constant-propagation lattice (known k <= unknown).
+//
+// Secrecy is defined by where a value was loaded from, mirroring the dynamic
+// ~adv relation (Defs. 1-2, §5.2): enclave-private (secure) pages hold
+// secrets, insecure/shared pages are adversary-visible, and the code page
+// holds the program text itself (public constants). Constant propagation is
+// what lets the pass resolve data-page addresses, SVC call numbers in r0 and
+// loads of in-code constant tables precisely enough that the shipped enclave
+// programs analyze clean.
+#ifndef SRC_ANALYSIS_ABSDOM_H_
+#define SRC_ANALYSIS_ABSDOM_H_
+
+#include <map>
+#include <vector>
+
+#include "src/arm/psr.h"
+#include "src/arm/types.h"
+
+namespace komodo::analysis {
+
+using arm::vaddr;
+using arm::word;
+
+enum class Taint : uint8_t { kPublic = 0, kSecret = 1 };
+
+inline Taint JoinTaint(Taint a, Taint b) {
+  return (a == Taint::kSecret || b == Taint::kSecret) ? Taint::kSecret : Taint::kPublic;
+}
+
+struct AbsVal {
+  Taint taint = Taint::kPublic;
+  bool known = false;
+  word value = 0;
+
+  static AbsVal Const(word v, Taint t = Taint::kPublic) { return {t, true, v}; }
+  static AbsVal Unknown(Taint t) { return {t, false, 0}; }
+
+  bool operator==(const AbsVal&) const = default;
+};
+
+inline AbsVal Join(const AbsVal& a, const AbsVal& b) {
+  AbsVal out;
+  out.taint = JoinTaint(a.taint, b.taint);
+  if (a.known && b.known && a.value == b.value) {
+    out.known = true;
+    out.value = a.value;
+  }
+  return out;
+}
+
+// --- Memory regions -----------------------------------------------------------
+
+enum class Region : uint8_t {
+  kCode,    // the program text: loads yield the actual instruction words
+  kSecret,  // enclave-private secure pages (data, stack, dynamically mapped)
+  kPublic,  // insecure/shared pages the OS can read and write
+};
+
+struct MemRange {
+  vaddr lo = 0;
+  word size = 0;
+  Region region = Region::kSecret;
+  bool Contains(vaddr a) const { return a >= lo && a - lo < size; }
+};
+
+// First matching range wins; addresses outside every range default to
+// `fallback` (secure-world memory unless declared otherwise — a user-mode
+// access there faults at runtime, but taint-wise it may hold secrets).
+struct MemoryLayout {
+  std::vector<MemRange> ranges;
+  Region fallback = Region::kSecret;
+
+  Region Classify(vaddr a) const {
+    for (const MemRange& r : ranges) {
+      if (r.Contains(a)) {
+        return r.region;
+      }
+    }
+    return fallback;
+  }
+
+  // The conventional single-thread enclave layout of os.h: code page at
+  // kEnclaveCodeVa (extent set by the analyzer from the program), private
+  // data page, private stack page, and everything from kEnclaveSharedVa up
+  // treated as OS-shared insecure memory.
+  static MemoryLayout DefaultEnclaveLayout();
+};
+
+// --- Abstract machine state ---------------------------------------------------
+
+struct AbsState {
+  bool valid = false;  // bottom until a path reaches this point
+  AbsVal regs[16];
+  Taint flags = Taint::kPublic;  // NZCV taint (values are not tracked)
+  // Word-granular abstract store, keyed by word-aligned VA. Cells absent from
+  // the map read as their region default. Stores through statically-unknown
+  // addresses weaken every tracked cell (see taint.cc).
+  std::map<word, AbsVal> store;
+
+  bool operator==(const AbsState&) const = default;
+};
+
+}  // namespace komodo::analysis
+
+#endif  // SRC_ANALYSIS_ABSDOM_H_

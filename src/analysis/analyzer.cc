@@ -1,0 +1,53 @@
+#include "src/analysis/analyzer.h"
+
+#include "src/analysis/privilege.h"
+
+namespace komodo::analysis {
+
+AnalysisResult AnalyzeProgram(const std::vector<word>& program, vaddr base,
+                              const TaintOptions& options) {
+  AnalysisResult result;
+  result.cfg = BuildCfg(program, base);
+  if (result.cfg.blocks.empty()) {
+    return result;
+  }
+
+  const std::vector<bool> reachable = ReachableBlocks(result.cfg);
+
+  // Declare the code page(s) so loads of in-code constant tables and of the
+  // zero-filled remainder of the page stay public.
+  TaintOptions taint_options = options;
+  const vaddr code_lo = arm::PageBase(base);
+  const word code_extent = base + static_cast<word>(program.size()) * arm::kWordSize - code_lo;
+  const word code_size = (code_extent + arm::kPageSize - 1) & ~(arm::kPageSize - 1);
+  taint_options.layout.ranges.insert(taint_options.layout.ranges.begin(),
+                                     {code_lo, code_size, Region::kCode});
+
+  for (Finding& f : RunPrivilegeLint(result.cfg, reachable)) {
+    result.findings.push_back(std::move(f));
+  }
+  for (Finding& f : RunTaintPass(result.cfg, taint_options).findings) {
+    result.findings.push_back(std::move(f));
+  }
+
+  // Control flow the analysis cannot follow, from reachable blocks only.
+  for (size_t b = 0; b < result.cfg.blocks.size(); ++b) {
+    if (!reachable[b]) {
+      continue;
+    }
+    const BasicBlock& bb = result.cfg.blocks[b];
+    const CfgInsn& last = result.cfg.insns[bb.last];
+    if (bb.exit == BlockExit::kIndirect) {
+      result.findings.push_back({FindingKind::kIndirectBranch, last.addr,
+                                 last.decoded.has_value() ? arm::OpName(last.decoded->op) : "?"});
+    } else if (bb.exit == BlockExit::kBranch && !bb.taken.has_value()) {
+      result.findings.push_back(
+          {FindingKind::kBranchOutOfRange, last.addr, "target outside program text"});
+    }
+  }
+
+  SortUnique(&result.findings);
+  return result;
+}
+
+}  // namespace komodo::analysis

@@ -1,0 +1,37 @@
+// komodo::analysis — static secret-flow and privilege analyzer for enclave
+// program images (vectors of A32 words, as shipped by src/enclave).
+//
+// Three cooperating passes over one recovered CFG:
+//   1. CFG recovery (cfg.h): basic blocks, direct-branch edges, trap edges.
+//   2. Privilege lint (privilege.h): instructions illegal in enclave user
+//      mode, undecodable words.
+//   3. Taint pass (taint.h): abstract interpretation flagging
+//      secret-dependent branches, secret-indexed memory accesses and SVC
+//      call numbers outside the Table 1 set.
+// This is the whole-program complement to the property-based noninterference
+// tests in tests/spec/ — see DESIGN.md § Analysis for what each side
+// guarantees.
+#ifndef SRC_ANALYSIS_ANALYZER_H_
+#define SRC_ANALYSIS_ANALYZER_H_
+
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/findings.h"
+#include "src/analysis/taint.h"
+
+namespace komodo::analysis {
+
+struct AnalysisResult {
+  Cfg cfg;
+  std::vector<Finding> findings;  // all passes, sorted by address, deduplicated
+  bool Clean() const { return findings.empty(); }
+};
+
+// Analyzes `program` linked at `base` (conventionally os::kEnclaveCodeVa).
+AnalysisResult AnalyzeProgram(const std::vector<word>& program, vaddr base,
+                              const TaintOptions& options = TaintOptions::Default());
+
+}  // namespace komodo::analysis
+
+#endif  // SRC_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,174 @@
+#include "src/analysis/cfg.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace komodo::analysis {
+
+using arm::Cond;
+using arm::Instruction;
+using arm::Op;
+
+std::optional<size_t> Cfg::IndexOf(vaddr addr) const {
+  if (addr < base || !arm::IsWordAligned(addr)) {
+    return std::nullopt;
+  }
+  const size_t index = (addr - base) / arm::kWordSize;
+  if (index >= insns.size()) {
+    return std::nullopt;
+  }
+  return index;
+}
+
+size_t Cfg::BlockOf(size_t insn_index) const {
+  assert(insn_index < insns.size());
+  // Blocks are in address order; binary-search the one covering the index.
+  size_t lo = 0;
+  size_t hi = blocks.size();
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (blocks[mid].first <= insn_index) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+namespace {
+
+// Classifies the way an instruction ends a basic block, if it does.
+std::optional<BlockExit> TerminatorKind(const std::optional<Instruction>& decoded) {
+  if (!decoded.has_value()) {
+    return BlockExit::kUndefined;
+  }
+  const Instruction& insn = *decoded;
+  if (arm::IsExceptionReturn(insn)) {
+    return BlockExit::kExceptionReturn;
+  }
+  if (arm::WritesPcIndirectly(insn)) {
+    return BlockExit::kIndirect;
+  }
+  switch (insn.op) {
+    case Op::kB:
+    case Op::kBl:
+      return BlockExit::kBranch;
+    case Op::kSvc:
+    case Op::kSmc:
+      return BlockExit::kTrap;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+Cfg BuildCfg(const std::vector<word>& program, vaddr base) {
+  Cfg cfg;
+  cfg.base = base;
+  cfg.insns.reserve(program.size());
+  for (size_t i = 0; i < program.size(); ++i) {
+    const vaddr addr = base + static_cast<word>(i) * arm::kWordSize;
+    cfg.insns.push_back({addr, program[i], arm::Decode(program[i])});
+  }
+  if (cfg.insns.empty()) {
+    return cfg;
+  }
+
+  // Pass 1: leaders. Index 0, every direct-branch target, and the instruction
+  // after any terminator.
+  std::vector<bool> leader(cfg.insns.size(), false);
+  leader[0] = true;
+  for (size_t i = 0; i < cfg.insns.size(); ++i) {
+    const CfgInsn& ci = cfg.insns[i];
+    if (!TerminatorKind(ci.decoded).has_value()) {
+      continue;
+    }
+    if (i + 1 < cfg.insns.size()) {
+      leader[i + 1] = true;
+    }
+    if (ci.decoded.has_value() &&
+        (ci.decoded->op == Op::kB || ci.decoded->op == Op::kBl)) {
+      const word target = arm::BranchTargetAddr(ci.addr, *ci.decoded);
+      if (const auto ti = cfg.IndexOf(target); ti.has_value()) {
+        leader[*ti] = true;
+      }
+    }
+  }
+
+  // Pass 2: carve blocks out of the leader map.
+  for (size_t i = 0; i < cfg.insns.size(); ++i) {
+    if (!leader[i]) {
+      continue;
+    }
+    BasicBlock bb;
+    bb.first = i;
+    size_t j = i;
+    while (j + 1 < cfg.insns.size() && !leader[j + 1] &&
+           !TerminatorKind(cfg.insns[j].decoded).has_value()) {
+      ++j;
+    }
+    bb.last = j;
+    cfg.blocks.push_back(bb);
+  }
+
+  // Pass 3: exits and successor edges.
+  for (BasicBlock& bb : cfg.blocks) {
+    const CfgInsn& last = cfg.insns[bb.last];
+    const std::optional<BlockExit> term = TerminatorKind(last.decoded);
+    const bool has_next = bb.last + 1 < cfg.insns.size();
+    auto fall_next = [&] {
+      if (has_next) {
+        bb.fall = cfg.BlockOf(bb.last + 1);
+      }
+    };
+
+    if (!term.has_value()) {
+      bb.exit = has_next ? BlockExit::kFallthrough : BlockExit::kEndOfProgram;
+      fall_next();
+    } else {
+      bb.exit = *term;
+      const Instruction* insn = last.decoded.has_value() ? &*last.decoded : nullptr;
+      const bool conditional = insn != nullptr && insn->cond != Cond::kAl;
+      switch (*term) {
+        case BlockExit::kBranch: {
+          const word target = arm::BranchTargetAddr(last.addr, *insn);
+          if (const auto ti = cfg.IndexOf(target); ti.has_value()) {
+            bb.taken = cfg.BlockOf(*ti);
+          }
+          // An unconditional BL's continuation is only reachable through the
+          // callee's return (an indirect branch we do not follow), so no edge.
+          if (conditional) {
+            fall_next();
+          }
+          break;
+        }
+        case BlockExit::kTrap:
+          // The monitor resumes the enclave at the next instruction (unless
+          // the call was Exit; analyzing the dead continuation is harmless).
+          fall_next();
+          break;
+        case BlockExit::kIndirect:
+        case BlockExit::kExceptionReturn:
+          if (conditional) {
+            fall_next();
+          }
+          break;
+        case BlockExit::kUndefined:
+        case BlockExit::kFallthrough:
+        case BlockExit::kEndOfProgram:
+          break;
+      }
+    }
+    if (bb.taken.has_value()) {
+      bb.successors.push_back(*bb.taken);
+    }
+    if (bb.fall.has_value() && bb.fall != bb.taken) {
+      bb.successors.push_back(*bb.fall);
+    }
+  }
+  return cfg;
+}
+
+}  // namespace komodo::analysis

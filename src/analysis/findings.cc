@@ -1,0 +1,51 @@
+#include "src/analysis/findings.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+namespace komodo::analysis {
+
+const char* FindingKindName(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kPrivilegedInstruction:
+      return "privileged-instruction";
+    case FindingKind::kUndecodableWord:
+      return "undecodable-word";
+    case FindingKind::kSvcOutOfRange:
+      return "svc-out-of-range";
+    case FindingKind::kSvcUnresolved:
+      return "svc-unresolved";
+    case FindingKind::kSecretDependentBranch:
+      return "secret-dependent-branch";
+    case FindingKind::kSecretIndexedLoad:
+      return "secret-indexed-load";
+    case FindingKind::kSecretIndexedStore:
+      return "secret-indexed-store";
+    case FindingKind::kIndirectBranch:
+      return "indirect-branch";
+    case FindingKind::kBranchOutOfRange:
+      return "branch-out-of-range";
+  }
+  return "?";
+}
+
+std::string FormatFinding(const Finding& f) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%08x", f.addr);
+  std::string out = FindingKindName(f.kind);
+  out += '\t';
+  out += buf;
+  out += '\t';
+  out += f.detail;
+  return out;
+}
+
+void SortUnique(std::vector<Finding>* findings) {
+  auto key = [](const Finding& f) { return std::tie(f.addr, f.kind, f.detail); };
+  std::sort(findings->begin(), findings->end(),
+            [&](const Finding& a, const Finding& b) { return key(a) < key(b); });
+  findings->erase(std::unique(findings->begin(), findings->end()), findings->end());
+}
+
+}  // namespace komodo::analysis

@@ -1,0 +1,52 @@
+// Findings emitted by the static analyzer: one record per defect, carrying the
+// kind, the instruction address it anchors to, and a human-readable detail.
+// The machine-readable serialisation (one finding per line, tab-separated) is
+// what `komodo-lint` prints and what the CTest cases grep.
+#ifndef SRC_ANALYSIS_FINDINGS_H_
+#define SRC_ANALYSIS_FINDINGS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/arm/types.h"
+
+namespace komodo::analysis {
+
+using arm::vaddr;
+using arm::word;
+
+enum class FindingKind : uint8_t {
+  // Privilege lint: instructions an enclave (secure user mode) may not issue.
+  kPrivilegedInstruction,  // SMC, MSR, MCR/MRC, MRS SPSR, exception return
+  kUndecodableWord,        // outside the modelled subset -> Undefined exception
+  kSvcOutOfRange,          // SVC with r0 = known constant outside Table 1's 7 calls
+  kSvcUnresolved,          // SVC whose call number (r0) is not a static constant
+  // Secret-flow lint: static counterpart of the ~adv noninterference relation.
+  kSecretDependentBranch,  // conditional executed under secret-tainted flags
+  kSecretIndexedLoad,      // load whose address depends on a secret
+  kSecretIndexedStore,     // store whose address depends on a secret
+  // CFG recovery: control flow the analysis cannot follow.
+  kIndirectBranch,  // BX / MOV pc / LDR pc / LDM {..pc} with unresolved target
+  kBranchOutOfRange,  // direct branch target outside the program text
+};
+
+const char* FindingKindName(FindingKind kind);
+
+struct Finding {
+  FindingKind kind;
+  vaddr addr = 0;      // VA of the offending instruction
+  std::string detail;  // e.g. the mnemonic, or the out-of-range SVC number
+
+  bool operator==(const Finding&) const = default;
+};
+
+// "<kind>\t0x<addr>\t<detail>" — stable, grep-friendly.
+std::string FormatFinding(const Finding& f);
+
+// Sorts by address then kind and drops duplicates (the fixpoint visits
+// instructions many times; each defect is reported once).
+void SortUnique(std::vector<Finding>* findings);
+
+}  // namespace komodo::analysis
+
+#endif  // SRC_ANALYSIS_FINDINGS_H_

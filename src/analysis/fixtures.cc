@@ -1,0 +1,134 @@
+#include "src/analysis/fixtures.h"
+
+#include "src/arm/assembler.h"
+#include "src/core/kom_defs.h"
+#include "src/os/os.h"
+
+namespace komodo::analysis {
+
+using arm::Assembler;
+using arm::Cond;
+using namespace arm;  // register names
+
+namespace {
+
+Assembler NewAsm() { return Assembler(os::kEnclaveCodeVa); }
+
+void EmitExit(Assembler& a, word retval = 0) {
+  a.MovImm(R1, retval);
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+}
+
+std::vector<word> SecretBranchProgram() {
+  // Branches on the secret in data[0] — the classic timing/trace channel the
+  // ~adv relation catches dynamically only when the randomized secrets happen
+  // to differ across the branch.
+  Assembler a = NewAsm();
+  Assembler::Label is_zero = a.NewLabel();
+  a.MovImm(R4, os::kEnclaveDataVa);
+  a.Ldr(R5, R4, 0);
+  a.Cmp(R5, 0u);
+  a.B(is_zero, Cond::kEq);
+  EmitExit(a, 1);
+  a.Bind(is_zero);
+  EmitExit(a, 0);
+  return a.Finish();
+}
+
+std::vector<word> SecretIndexedStoreProgram() {
+  // Uses the secret as a store index into the shared page — a cache/layout
+  // channel even though the stored value itself is public.
+  Assembler a = NewAsm();
+  a.MovImm(R4, os::kEnclaveDataVa);
+  a.Ldr(R5, R4, 0);  // secret
+  a.MovImm(R6, os::kEnclaveSharedVa);
+  a.MovImm(R7, 0);
+  a.StrReg(R7, R6, R5);  // shared[secret] = 0
+  EmitExit(a);
+  return a.Finish();
+}
+
+std::vector<word> RogueSmcProgram() {
+  // SMC is the OS<->monitor interface; from enclave user mode it traps
+  // Undefined, and shipped enclave code must never contain it.
+  Assembler a = NewAsm();
+  a.Smc();
+  EmitExit(a);
+  return a.Finish();
+}
+
+std::vector<word> SvcOutOfRangeProgram() {
+  // r0 = 99 is outside Table 1's seven supervisor calls.
+  Assembler a = NewAsm();
+  a.MovImm(R0, 99);
+  a.MovImm(R1, 0);
+  a.Svc();
+  EmitExit(a);
+  return a.Finish();
+}
+
+std::vector<word> SecretIndexedLoadProgram() {
+  Assembler a = NewAsm();
+  a.MovImm(R4, os::kEnclaveDataVa);
+  a.Ldr(R5, R4, 0);  // secret
+  a.MovImm(R6, os::kEnclaveSharedVa);
+  a.LdrReg(R7, R6, R5);  // r7 = shared[secret]
+  EmitExit(a);
+  return a.Finish();
+}
+
+std::vector<word> SvcUnresolvedProgram() {
+  // The SVC number comes in from the OS (r2 at Enter) — never a constant.
+  Assembler a = NewAsm();
+  a.Mov(R0, R2);
+  a.Svc();
+  EmitExit(a);
+  return a.Finish();
+}
+
+std::vector<word> UndecodableProgram() {
+  Assembler a = NewAsm();
+  a.EmitWord(0xe7f0'00f0);  // permanently-undefined encoding space
+  EmitExit(a);
+  return a.Finish();
+}
+
+std::vector<word> IndirectBranchProgram() {
+  Assembler a = NewAsm();
+  a.MovImm(R5, os::kEnclaveCodeVa);
+  a.Bx(R5);
+  EmitExit(a);
+  return a.Finish();
+}
+
+std::vector<word> UserMsrProgram() {
+  Assembler a = NewAsm();
+  a.MovImm(R5, 0);
+  a.MsrCpsr(R5);
+  EmitExit(a);
+  return a.Finish();
+}
+
+}  // namespace
+
+std::vector<BadFixture> SeededBadFixtures() {
+  return {
+      {"secret_branch", SecretBranchProgram(), FindingKind::kSecretDependentBranch},
+      {"secret_indexed_store", SecretIndexedStoreProgram(), FindingKind::kSecretIndexedStore},
+      {"rogue_smc", RogueSmcProgram(), FindingKind::kPrivilegedInstruction},
+      {"svc_out_of_range", SvcOutOfRangeProgram(), FindingKind::kSvcOutOfRange},
+  };
+}
+
+std::vector<BadFixture> ExtraBadFixtures() {
+  return {
+      {"secret_indexed_load", SecretIndexedLoadProgram(), FindingKind::kSecretIndexedLoad},
+      {"svc_unresolved", SvcUnresolvedProgram(), FindingKind::kSvcUnresolved},
+      {"undecodable", UndecodableProgram(), FindingKind::kUndecodableWord},
+      {"indirect_branch", IndirectBranchProgram(), FindingKind::kIndirectBranch},
+      {"user_msr", UserMsrProgram(), FindingKind::kPrivilegedInstruction},
+  };
+}
+
+}  // namespace komodo::analysis

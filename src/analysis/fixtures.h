@@ -1,0 +1,37 @@
+// Deliberately-defective enclave programs for exercising komodo-lint. Each
+// fixture is seeded with exactly one defect and must produce exactly one
+// finding of the expected kind — enforced both by tests/analysis/ and by
+// `komodo-lint --check-fixtures` (a CTest case), so a regression that makes
+// the analyzer blind to a defect class fails the build.
+#ifndef SRC_ANALYSIS_FIXTURES_H_
+#define SRC_ANALYSIS_FIXTURES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/findings.h"
+#include "src/arm/types.h"
+
+namespace komodo::analysis {
+
+struct BadFixture {
+  std::string name;
+  std::vector<word> program;  // linked at os::kEnclaveCodeVa
+  FindingKind expected;
+};
+
+// The four canonical seeded-bad programs:
+//   secret_branch        — branches on a value loaded from the private data page
+//   secret_indexed_store — stores through an address derived from a secret
+//   rogue_smc            — issues SMC from enclave user code
+//   svc_out_of_range     — SVC with r0 = 99, outside the Table 1 set
+std::vector<BadFixture> SeededBadFixtures();
+
+// Additional single-defect fixtures covering the remaining finding kinds
+// (secret-indexed load, unresolvable SVC number, undecodable word, indirect
+// branch, MSR from user code).
+std::vector<BadFixture> ExtraBadFixtures();
+
+}  // namespace komodo::analysis
+
+#endif  // SRC_ANALYSIS_FIXTURES_H_

@@ -1,0 +1,77 @@
+#include "src/analysis/privilege.h"
+
+#include <deque>
+
+namespace komodo::analysis {
+
+using arm::Instruction;
+using arm::Op;
+
+std::vector<bool> ReachableBlocks(const Cfg& cfg) {
+  std::vector<bool> reachable(cfg.blocks.size(), false);
+  if (cfg.blocks.empty()) {
+    return reachable;
+  }
+  std::deque<size_t> worklist = {0};
+  reachable[0] = true;
+  while (!worklist.empty()) {
+    const size_t b = worklist.front();
+    worklist.pop_front();
+    for (const size_t succ : cfg.blocks[b].successors) {
+      if (!reachable[succ]) {
+        reachable[succ] = true;
+        worklist.push_back(succ);
+      }
+    }
+  }
+  return reachable;
+}
+
+std::vector<Finding> RunPrivilegeLint(const Cfg& cfg, const std::vector<bool>& reachable) {
+  std::vector<Finding> findings;
+  for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+    if (!reachable[b]) {
+      continue;
+    }
+    const BasicBlock& bb = cfg.blocks[b];
+    for (size_t i = bb.first; i <= bb.last; ++i) {
+      const CfgInsn& ci = cfg.insns[i];
+      if (!ci.decoded.has_value()) {
+        findings.push_back({FindingKind::kUndecodableWord, ci.addr, "outside modelled subset"});
+        continue;
+      }
+      const Instruction& insn = *ci.decoded;
+      if (arm::IsExceptionReturn(insn)) {
+        findings.push_back(
+            {FindingKind::kPrivilegedInstruction, ci.addr, "exception-return idiom"});
+        continue;
+      }
+      switch (insn.op) {
+        case Op::kSmc:
+          findings.push_back({FindingKind::kPrivilegedInstruction, ci.addr, "smc"});
+          break;
+        case Op::kMsr:
+          findings.push_back({FindingKind::kPrivilegedInstruction, ci.addr,
+                              insn.uses_spsr ? "msr spsr" : "msr cpsr"});
+          break;
+        case Op::kMcr:
+          findings.push_back({FindingKind::kPrivilegedInstruction, ci.addr, "mcr p15"});
+          break;
+        case Op::kMrc:
+          findings.push_back({FindingKind::kPrivilegedInstruction, ci.addr, "mrc p15"});
+          break;
+        case Op::kMrs:
+          if (insn.uses_spsr) {
+            findings.push_back({FindingKind::kPrivilegedInstruction, ci.addr, "mrs spsr"});
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  SortUnique(&findings);
+  return findings;
+}
+
+}  // namespace komodo::analysis

@@ -1,0 +1,27 @@
+// Privilege lint: purely syntactic checks over the instructions reachable
+// from the enclave entry point. Enclaves run in secure user mode, where SMC,
+// MSR, CP15 access (MCR/MRC), MRS of the SPSR, the exception-return idiom and
+// anything outside the modelled encoding space either traps Undefined or
+// touches state the monitor owns — none of it belongs in shipped enclave
+// code. (SVC call-number validation needs constant propagation and therefore
+// lives in the taint pass.)
+#ifndef SRC_ANALYSIS_PRIVILEGE_H_
+#define SRC_ANALYSIS_PRIVILEGE_H_
+
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/findings.h"
+
+namespace komodo::analysis {
+
+// `reachable[b]` says whether block b is reachable from the entry block;
+// unreachable blocks typically hold in-code constant tables and are skipped.
+std::vector<Finding> RunPrivilegeLint(const Cfg& cfg, const std::vector<bool>& reachable);
+
+// Forward reachability over Cfg::successors from block 0.
+std::vector<bool> ReachableBlocks(const Cfg& cfg);
+
+}  // namespace komodo::analysis
+
+#endif  // SRC_ANALYSIS_PRIVILEGE_H_

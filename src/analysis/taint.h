@@ -1,0 +1,45 @@
+// Abstract-interpretation taint pass: the static counterpart of the dynamic
+// ~adv noninterference checks in tests/spec/noninterference_test.cc.
+//
+// Values loaded from enclave-private (secure) pages are secret; the pass
+// propagates taint through registers, flags and a word-granular abstract
+// store, and reports the two classic side channels the dynamic relation
+// cannot see per-trace: branches whose condition flags depend on a secret,
+// and loads/stores whose *address* depends on a secret. Deliberate
+// declassification — storing a secret value to a shared page at a public
+// address, as LeakSecretProgram does — is intentionally not a finding (§6:
+// Komodo does not police what enclaves do with their own secrets).
+#ifndef SRC_ANALYSIS_TAINT_H_
+#define SRC_ANALYSIS_TAINT_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/analysis/absdom.h"
+#include "src/analysis/cfg.h"
+#include "src/analysis/findings.h"
+
+namespace komodo::analysis {
+
+struct TaintOptions {
+  MemoryLayout layout;  // memory regions; the code range is added from the CFG
+  std::optional<word> entry_sp;       // SP at enclave entry (constant if known)
+  std::vector<word> allowed_svcs;     // legal SVC call numbers (r0 at the SVC)
+
+  // Conventional single-threaded enclave layout and the 7-call Table 1 SVC
+  // set (kom_defs.h).
+  static TaintOptions Default();
+};
+
+struct TaintResult {
+  std::vector<Finding> findings;
+  // Fixpoint in-state of every basic block (block_in[i].valid == false means
+  // the block is unreachable from the entry). Exposed for tests.
+  std::vector<AbsState> block_in;
+};
+
+TaintResult RunTaintPass(const Cfg& cfg, const TaintOptions& options = TaintOptions::Default());
+
+}  // namespace komodo::analysis
+
+#endif  // SRC_ANALYSIS_TAINT_H_

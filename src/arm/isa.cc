@@ -489,4 +489,56 @@ std::string Instruction::ToString() const {
   return buf;
 }
 
+word BranchTargetAddr(word insn_addr, const Instruction& insn) {
+  return static_cast<word>(static_cast<int64_t>(insn_addr) + 8 + insn.branch_offset);
+}
+
+bool IsExceptionReturn(const Instruction& insn) {
+  switch (insn.op) {
+    case Op::kAnd:
+    case Op::kEor:
+    case Op::kSub:
+    case Op::kRsb:
+    case Op::kAdd:
+    case Op::kAdc:
+    case Op::kSbc:
+    case Op::kRsc:
+    case Op::kOrr:
+    case Op::kMov:
+    case Op::kBic:
+    case Op::kMvn:
+      return insn.set_flags && insn.rd == PC;
+    default:
+      return false;
+  }
+}
+
+bool WritesPcIndirectly(const Instruction& insn) {
+  switch (insn.op) {
+    case Op::kBx:
+      return true;
+    case Op::kLdr:
+      return insn.rd == PC;
+    case Op::kLdm:
+      return (insn.reg_list & (1u << PC)) != 0;
+    case Op::kAnd:
+    case Op::kEor:
+    case Op::kSub:
+    case Op::kRsb:
+    case Op::kAdd:
+    case Op::kAdc:
+    case Op::kSbc:
+    case Op::kRsc:
+    case Op::kOrr:
+    case Op::kMov:
+    case Op::kBic:
+    case Op::kMvn:
+      // Compares never write rd; the exception-return idiom is classified
+      // separately (it is a privileged instruction, not a plain branch).
+      return insn.rd == PC && !insn.set_flags;
+    default:
+      return false;
+  }
+}
+
 }  // namespace komodo::arm

@@ -135,6 +135,21 @@ std::optional<Instruction> Decode(word bits);
 
 const char* OpName(Op op);
 
+// --- Static-analysis helpers (shared with src/analysis) -----------------------
+
+// Resolved target of a direct branch (B/BL) at `insn_addr`: the executor
+// computes insn_addr + 8 + branch_offset.
+word BranchTargetAddr(word insn_addr, const Instruction& insn);
+
+// True if the instruction writes the PC other than by falling through or by a
+// direct B/BL: BX, data-processing with rd=PC, LDR into PC, or LDM with PC in
+// the register list. Such targets are not statically resolvable in general.
+bool WritesPcIndirectly(const Instruction& insn);
+
+// True for the exception-return idiom MOVS/SUBS/... PC, ... (set_flags with
+// rd=PC on a non-compare data-processing op) — privileged-only.
+bool IsExceptionReturn(const Instruction& insn);
+
 }  // namespace komodo::arm
 
 #endif  // SRC_ARM_ISA_H_

@@ -88,8 +88,9 @@ void Monitor::RestoreOsBankedState() {
           (m == Mode::kAbort &&
            (exceptions_seen_ & (ExceptionBit(Exception::kDataAbort) |
                                 ExceptionBit(Exception::kPrefetchAbort))) != 0) ||
-          (m == Mode::kUndefined && (exceptions_seen_ & ExceptionBit(Exception::kUndefined))) ||
-          (m == Mode::kFiq && (exceptions_seen_ & ExceptionBit(Exception::kFiq)));
+          (m == Mode::kUndefined &&
+           (exceptions_seen_ & ExceptionBit(Exception::kUndefined)) != 0) ||
+          (m == Mode::kFiq && (exceptions_seen_ & ExceptionBit(Exception::kFiq)) != 0);
       if (touched) {
         ops_.SetBanked(Reg::SP, 0, m);
         ops_.SetBanked(Reg::LR, 0, m);

@@ -28,18 +28,25 @@ crypto::Sha256 LoadStream(const AddrspacePage& as) {
 
 void StoreStream(AddrspacePage& as, const crypto::Sha256& s) { as.measurement_stream = s.Export(); }
 
-// Installs a zeroed L2 table page into the four L1 slots at `l1index`.
-word SpecInstallL2(PageDb& d, PageNr as_page, PageNr l2pt_page, word l1index) {
+// Checks whether a zeroed L2 table page can be installed at `l1index`; the
+// caller only mutates the PageDb once this returns success, so no defensive
+// copy of the whole database is needed.
+word CheckInstallL2(const PageDb& d, PageNr as_page, word l1index) {
   if (l1index >= 256) {
     return kErrInvalidMapping;
   }
   const PageNr l1pt = d[as_page].As<AddrspacePage>().l1pt_page;
-  L1PTablePage& l1 = d[l1pt].As<L1PTablePage>();
-  if (l1.l2_tables[l1index].has_value()) {
+  if (d[l1pt].As<L1PTablePage>().l2_tables[l1index].has_value()) {
     return kErrAddrInUse;
   }
-  l1.l2_tables[l1index] = l2pt_page;
   return kErrSuccess;
+}
+
+// Installs a zeroed L2 table page into the L1 slot at `l1index`; the caller
+// must have validated with CheckInstallL2 first.
+void InstallL2(PageDb& d, PageNr as_page, PageNr l2pt_page, word l1index) {
+  const PageNr l1pt = d[as_page].As<AddrspacePage>().l1pt_page;
+  d[l1pt].As<L1PTablePage>().l2_tables[l1index] = l2pt_page;
 }
 
 }  // namespace
@@ -96,15 +103,13 @@ Result SpecInitL2Table(PageDb d, PageNr as_page, PageNr l2pt_page, word l1index)
   if (!d[l2pt_page].IsFree()) {
     return {kErrPageInUse, std::move(d)};
   }
-  // Install into a copy so a failed install leaves d unchanged.
-  PageDb updated = d;
-  updated[l2pt_page] = PageDbEntry{as_page, L2PTablePage{}};
-  const word err = SpecInstallL2(updated, as_page, l2pt_page, l1index);
-  if (err != kErrSuccess) {
+  if (const word err = CheckInstallL2(d, as_page, l1index); err != kErrSuccess) {
     return {err, std::move(d)};
   }
-  Bump(updated, as_page, 1);
-  return {kErrSuccess, std::move(updated)};
+  d[l2pt_page] = PageDbEntry{as_page, L2PTablePage{}};
+  InstallL2(d, as_page, l2pt_page, l1index);
+  Bump(d, as_page, 1);
+  return {kErrSuccess, std::move(d)};
 }
 
 Result SpecMapSecure(PageDb d, PageNr as_page, PageNr data_page, word mapping, bool insecure_ok,
@@ -243,13 +248,12 @@ Result SpecSvcInitL2Table(PageDb d, PageNr as_page, PageNr spare_page, word l1in
       d[spare_page].owner != as_page) {
     return {kErrNotSpare, std::move(d)};
   }
-  PageDb updated = d;
-  updated[spare_page] = PageDbEntry{as_page, L2PTablePage{}};
-  const word err = SpecInstallL2(updated, as_page, spare_page, l1index);
-  if (err != kErrSuccess) {
+  if (const word err = CheckInstallL2(d, as_page, l1index); err != kErrSuccess) {
     return {err, std::move(d)};
   }
-  return {kErrSuccess, std::move(updated)};
+  d[spare_page] = PageDbEntry{as_page, L2PTablePage{}};
+  InstallL2(d, as_page, spare_page, l1index);
+  return {kErrSuccess, std::move(d)};
 }
 
 Result SpecSvcMapData(PageDb d, PageNr as_page, PageNr spare_page, word mapping) {

@@ -1,0 +1,128 @@
+// CFG recovery unit tests: block splitting, edge kinds, reachability.
+#include "src/analysis/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/privilege.h"
+#include "src/arm/assembler.h"
+#include "src/core/kom_defs.h"
+#include "src/os/os.h"
+
+namespace komodo::analysis {
+namespace {
+
+using arm::Assembler;
+using arm::Cond;
+using namespace arm;  // register names
+
+constexpr vaddr kBase = os::kEnclaveCodeVa;
+
+TEST(CfgTest, StraightLineIsOneBlockEndingAtTrap) {
+  Assembler a(kBase);
+  a.MovImm(R1, 0);
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+  const Cfg cfg = BuildCfg(a.Finish(), kBase);
+
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  EXPECT_EQ(cfg.blocks[0].exit, BlockExit::kTrap);
+  // The SVC is the last instruction: no return point, no successors.
+  EXPECT_TRUE(cfg.blocks[0].successors.empty());
+}
+
+TEST(CfgTest, ConditionalBranchSplitsBlocksWithTakenAndFallEdges) {
+  Assembler a(kBase);
+  Assembler::Label target = a.NewLabel();
+  a.Cmp(R0, 0u);
+  a.B(target, Cond::kEq);   // block 0 terminator
+  a.MovImm(R1, 1);          // block 1 (fallthrough)
+  a.Bind(target);
+  a.MovImm(R1, 2);          // block 2 (branch target)
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+  const Cfg cfg = BuildCfg(a.Finish(), kBase);
+
+  ASSERT_EQ(cfg.blocks.size(), 3u);
+  EXPECT_EQ(cfg.blocks[0].exit, BlockExit::kBranch);
+  ASSERT_TRUE(cfg.blocks[0].taken.has_value());
+  ASSERT_TRUE(cfg.blocks[0].fall.has_value());
+  EXPECT_EQ(*cfg.blocks[0].taken, 2u);
+  EXPECT_EQ(*cfg.blocks[0].fall, 1u);
+  // Fallthrough block falls into the target block.
+  EXPECT_EQ(cfg.blocks[1].exit, BlockExit::kFallthrough);
+  EXPECT_EQ(cfg.blocks[1].successors, std::vector<size_t>{2});
+}
+
+TEST(CfgTest, BackEdgeLoop) {
+  Assembler a(kBase);
+  Assembler::Label loop = a.NewLabel();
+  a.MovImm(R6, 0);
+  a.Bind(loop);
+  a.Add(R6, R6, 1u);
+  a.B(loop);
+  const Cfg cfg = BuildCfg(a.Finish(), kBase);
+
+  ASSERT_EQ(cfg.blocks.size(), 2u);
+  EXPECT_EQ(cfg.blocks[1].exit, BlockExit::kBranch);
+  EXPECT_EQ(cfg.blocks[1].successors, std::vector<size_t>{1});  // self-loop
+}
+
+TEST(CfgTest, UndecodableWordTerminatesWithNoSuccessors) {
+  Assembler a(kBase);
+  a.MovImm(R1, 0);
+  a.EmitWord(0xe7f0'00f0);
+  a.MovImm(R0, kSvcExit);  // unreachable
+  a.Svc();
+  const Cfg cfg = BuildCfg(a.Finish(), kBase);
+
+  const size_t undef_block = cfg.BlockOf(*cfg.IndexOf(kBase + 1 * kWordSize));
+  EXPECT_EQ(cfg.blocks[undef_block].exit, BlockExit::kUndefined);
+  EXPECT_TRUE(cfg.blocks[undef_block].successors.empty());
+
+  const std::vector<bool> reachable = ReachableBlocks(cfg);
+  // The code after the undecodable word is a separate, unreachable block.
+  const size_t after = cfg.BlockOf(*cfg.IndexOf(kBase + 2 * kWordSize));
+  EXPECT_FALSE(reachable[after]);
+}
+
+TEST(CfgTest, BxIsIndirectExit) {
+  Assembler a(kBase);
+  a.Bx(LR);
+  const Cfg cfg = BuildCfg(a.Finish(), kBase);
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  EXPECT_EQ(cfg.blocks[0].exit, BlockExit::kIndirect);
+  EXPECT_TRUE(cfg.blocks[0].successors.empty());
+}
+
+TEST(CfgTest, ConstantTableAfterUnconditionalBranchIsUnreachable) {
+  // The sha256 program's idiom: B over an in-code constant pool.
+  Assembler a(kBase);
+  Assembler::Label start = a.NewLabel();
+  a.B(start);
+  a.EmitWord(0x428a2f98);  // table data, whatever it decodes as
+  a.EmitWord(0x71374491);
+  a.Bind(start);
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+  const Cfg cfg = BuildCfg(a.Finish(), kBase);
+
+  const std::vector<bool> reachable = ReachableBlocks(cfg);
+  const size_t table_block = cfg.BlockOf(*cfg.IndexOf(kBase + kWordSize));
+  EXPECT_FALSE(reachable[table_block]);
+  const size_t start_block = cfg.BlockOf(*cfg.IndexOf(kBase + 3 * kWordSize));
+  EXPECT_TRUE(reachable[start_block]);
+}
+
+TEST(CfgTest, IndexOfRejectsOutsideAndMisaligned) {
+  Assembler a(kBase);
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+  const Cfg cfg = BuildCfg(a.Finish(), kBase);
+  EXPECT_FALSE(cfg.IndexOf(kBase - 4).has_value());
+  EXPECT_FALSE(cfg.IndexOf(kBase + 1).has_value());
+  EXPECT_FALSE(cfg.IndexOf(kBase + 100 * kWordSize).has_value());
+  EXPECT_TRUE(cfg.IndexOf(kBase).has_value());
+}
+
+}  // namespace
+}  // namespace komodo::analysis

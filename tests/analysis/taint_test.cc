@@ -1,0 +1,194 @@
+// Taint-pass tests: every seeded-bad fixture produces exactly its expected
+// finding, and the precision features the shipped programs rely on (constant
+// propagation through MOVW/MOVT, strong updates on data-page cells, trap
+// clobbering, in-code constant tables) hold.
+#include "src/analysis/taint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/fixtures.h"
+#include "src/arm/assembler.h"
+#include "src/core/kom_defs.h"
+#include "src/os/os.h"
+
+namespace komodo::analysis {
+namespace {
+
+using arm::Assembler;
+using arm::Cond;
+using namespace arm;  // register names
+
+constexpr vaddr kBase = os::kEnclaveCodeVa;
+
+AnalysisResult Analyze(const std::vector<word>& program) {
+  return AnalyzeProgram(program, kBase);
+}
+
+void EmitExit(Assembler& a, word retval = 0) {
+  a.MovImm(R1, retval);
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+}
+
+TEST(TaintFixtures, EachSeededBadFixtureYieldsExactlyItsFinding) {
+  for (const BadFixture& f : SeededBadFixtures()) {
+    const AnalysisResult result = Analyze(f.program);
+    ASSERT_EQ(result.findings.size(), 1u) << f.name;
+    EXPECT_EQ(result.findings[0].kind, f.expected) << f.name;
+  }
+}
+
+TEST(TaintFixtures, ExtraFixturesCoverRemainingFindingKinds) {
+  for (const BadFixture& f : ExtraBadFixtures()) {
+    const AnalysisResult result = Analyze(f.program);
+    ASSERT_EQ(result.findings.size(), 1u) << f.name;
+    EXPECT_EQ(result.findings[0].kind, f.expected) << f.name;
+  }
+}
+
+TEST(TaintPrecision, PublicBranchIsNotFlagged) {
+  // Branching on an Enter argument (r0) is public control flow.
+  Assembler a(kBase);
+  Assembler::Label skip = a.NewLabel();
+  a.Cmp(R0, 0u);
+  a.B(skip, Cond::kEq);
+  a.MovImm(R4, os::kEnclaveDataVa);
+  a.Str(R0, R4, 0);
+  a.Bind(skip);
+  EmitExit(a);
+  EXPECT_TRUE(Analyze(a.Finish()).Clean());
+}
+
+TEST(TaintPrecision, SecretValueStoreToPublicAddressIsDeclassificationNotAFinding) {
+  // LeakSecretProgram's pattern: the enclave may publish its own secret; only
+  // secret-dependent *addresses* and *branches* are channels (§6).
+  Assembler a(kBase);
+  a.MovImm(R4, os::kEnclaveDataVa);
+  a.Ldr(R5, R4, 0);  // secret value
+  a.MovImm(R6, os::kEnclaveSharedVa);
+  a.Str(R5, R6, 0);  // public (constant) address
+  EmitExit(a);
+  EXPECT_TRUE(Analyze(a.Finish()).Clean());
+}
+
+TEST(TaintPrecision, StrongUpdateMakesOwnStoredValuePublicAgain) {
+  // A program that writes a public value into its private page and reads it
+  // back must not be flagged when it branches on the reloaded value — this is
+  // exactly the sha256 program's block-counter idiom.
+  Assembler a(kBase);
+  Assembler::Label done = a.NewLabel();
+  a.MovImm(R4, os::kEnclaveDataVa + 0x120);
+  a.Str(R0, R4, 0);  // data[0x120] = public arg
+  a.Ldr(R5, R4, 0);
+  a.Cmp(R5, 0u);
+  a.B(done, Cond::kEq);
+  a.Bind(done);
+  EmitExit(a);
+  EXPECT_TRUE(Analyze(a.Finish()).Clean());
+}
+
+TEST(TaintPrecision, TrapClobberResetsDataPageCellsToSecret) {
+  // After an SVC the monitor may rewrite enclave memory (Attest writes the
+  // MAC), so previously-written cells fall back to secret — branching on one
+  // afterwards is flagged.
+  Assembler a(kBase);
+  Assembler::Label done = a.NewLabel();
+  a.MovImm(R4, os::kEnclaveDataVa);
+  a.MovImm(R5, 7);
+  a.Str(R5, R4, 0);  // public cell...
+  a.MovImm(R0, kSvcGetRandom);
+  a.Svc();           // ...until the monitor runs
+  a.MovImm(R4, os::kEnclaveDataVa);
+  a.Ldr(R6, R4, 0);
+  a.Cmp(R6, 0u);
+  a.B(done, Cond::kEq);
+  a.Bind(done);
+  EmitExit(a);
+  const AnalysisResult result = Analyze(a.Finish());
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].kind, FindingKind::kSecretDependentBranch);
+}
+
+TEST(TaintPrecision, InCodeConstantTableLoadsStayPublic) {
+  // The sha256 idiom: LDM from a constant pool inside the code page, then
+  // branch on arithmetic over the loaded constants.
+  Assembler a(kBase);
+  Assembler::Label start = a.NewLabel();
+  Assembler::Label table = a.NewLabel();
+  Assembler::Label done = a.NewLabel();
+  a.B(start);
+  a.Bind(table);
+  a.EmitWord(3);
+  a.Bind(start);
+  a.MovImm(R4, a.AddrOf(table));
+  a.Ldr(R5, R4, 0);  // r5 = 3, from the code page
+  a.Cmp(R5, 3u);
+  a.B(done, Cond::kEq);
+  a.Bind(done);
+  EmitExit(a);
+  EXPECT_TRUE(Analyze(a.Finish()).Clean());
+}
+
+TEST(TaintPrecision, SecretTaintPropagatesThroughArithmetic) {
+  // secret -> shifted/added -> used as an index: still flagged.
+  Assembler a(kBase);
+  a.MovImm(R4, os::kEnclaveDataVa);
+  a.Ldr(R5, R4, 0);                                   // secret
+  a.AddShifted(R6, R5, R5, ShiftKind::kLsl, 2);       // derived from secret
+  a.Add(R6, R6, 16u);
+  a.MovImm(R7, os::kEnclaveSharedVa);
+  a.LdrReg(R8, R7, R6);                               // secret-indexed load
+  EmitExit(a);
+  const AnalysisResult result = Analyze(a.Finish());
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].kind, FindingKind::kSecretIndexedLoad);
+}
+
+TEST(TaintPrecision, SvcNumberResolvedThroughMovwMovt) {
+  // A call number materialized via the MOVW/MOVT path (any constant the
+  // rotated-immediate encoder rejects goes through it) still resolves.
+  Assembler a(kBase);
+  a.MovImm(R0, 0x12345);  // needs MOVW/MOVT; not a Table 1 call
+  a.Svc();
+  EmitExit(a);
+  const AnalysisResult result = Analyze(a.Finish());
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].kind, FindingKind::kSvcOutOfRange);
+  EXPECT_EQ(result.findings[0].detail, "r0=" + std::to_string(0x12345));
+}
+
+TEST(TaintPrecision, LoopCounterJoinStaysPublic) {
+  // Fixpoint over a back edge: the counter joins to non-constant but remains
+  // public, so the loop branch is not flagged.
+  Assembler a(kBase);
+  Assembler::Label loop = a.NewLabel();
+  a.MovImm(R6, 0);
+  a.Bind(loop);
+  a.Add(R6, R6, 4u);
+  a.Cmp(R6, 64u);
+  a.B(loop, Cond::kNe);
+  EmitExit(a);
+  EXPECT_TRUE(Analyze(a.Finish()).Clean());
+}
+
+TEST(TaintPrecision, MrsCpsrExposesSecretFlags) {
+  // Reading the CPSR after comparing a secret leaks the flags into a
+  // register; indexing with it is a secret-indexed access.
+  Assembler a(kBase);
+  a.MovImm(R4, os::kEnclaveDataVa);
+  a.Ldr(R5, R4, 0);
+  a.Cmp(R5, 0u);     // flags now secret (no conditional used: no branch finding)
+  a.MrsCpsr(R6);     // r6 tainted by the flags
+  a.MovImm(R7, os::kEnclaveSharedVa);
+  a.And(R6, R6, 0x80000000u);
+  a.Lsr(R6, R6, 24);
+  a.LdrReg(R8, R7, R6);
+  EmitExit(a);
+  const AnalysisResult result = Analyze(a.Finish());
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].kind, FindingKind::kSecretIndexedLoad);
+}
+
+}  // namespace
+}  // namespace komodo::analysis
