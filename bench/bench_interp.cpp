@@ -1,0 +1,195 @@
+// Interpreter fast-path benchmark (DESIGN.md §8): wall-clock steps/sec and
+// SMC round-trip latency with the decode cache + micro-TLB + flat-memory fast
+// path on versus off (KOMODO_INTERP_CACHE semantics). The cache-off
+// configuration is the pre-cache interpreter — a full two-level walk per
+// user-mode access, a fresh Decode() per step and the O(L1) live-page-table
+// scan per store — so the speedup column tracks exactly what the fast path
+// buys. Simulated cycle counts must be identical in both configurations
+// (asserted here; the differential suite checks the full state).
+//
+// Emits BENCH_interp.json in the working directory so the perf trajectory is
+// tracked PR over PR. `--smoke` runs tiny iteration counts for CI.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/arm/machine.h"
+#include "src/enclave/programs.h"
+#include "src/enclave/sha256_program.h"
+#include "src/os/world.h"
+
+namespace komodo {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+struct RunStats {
+  uint64_t steps = 0;
+  uint64_t cycles = 0;
+  double seconds = 0;
+};
+
+// Builds a SHA-256 enclave and notarises `iters` documents of `doc_len`
+// bytes (the hashing core of the Fig. 5 notary workload, fully interpreted).
+RunStats RunNotary(bool cached, size_t doc_len, int iters) {
+  os::World w{64};
+  w.machine.interp.set_enabled(cached);
+  os::Os::BuildOptions opts;
+  opts.with_shared_page = true;
+  os::EnclaveHandle e;
+  if (w.os.BuildEnclave(enclave::Sha256Program(), &opts, &e) != kErrSuccess) {
+    std::abort();
+  }
+  std::vector<uint8_t> doc(doc_len);
+  for (size_t i = 0; i < doc_len; ++i) {
+    doc[i] = static_cast<uint8_t>(i * 131 + 7);
+  }
+  const uint64_t steps0 = w.machine.steps_retired;
+  const uint64_t cycles0 = w.machine.cycles.total();
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    const word nblocks = enclave::StageSha256Message(w.os, opts.shared_insecure_pgnr, doc);
+    if (w.os.Enter(e.thread, nblocks).err != kErrSuccess) {
+      std::abort();
+    }
+  }
+  const auto t1 = Clock::now();
+  return {w.machine.steps_retired - steps0, w.machine.cycles.total() - cycles0,
+          Seconds(t0, t1)};
+}
+
+// Enter/exit with a trivial enclave: the SMC round-trip cost in host time.
+RunStats RunSmcRoundTrip(bool cached, int iters) {
+  os::World w{64};
+  w.machine.interp.set_enabled(cached);
+  os::Os::BuildOptions opts;
+  os::EnclaveHandle e;
+  if (w.os.BuildEnclave(enclave::AddTwoProgram(), &opts, &e) != kErrSuccess) {
+    std::abort();
+  }
+  const uint64_t steps0 = w.machine.steps_retired;
+  const uint64_t cycles0 = w.machine.cycles.total();
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    if (w.os.Enter(e.thread, 2, 3).err != kErrSuccess) {
+      std::abort();
+    }
+  }
+  const auto t1 = Clock::now();
+  return {w.machine.steps_retired - steps0, w.machine.cycles.total() - cycles0,
+          Seconds(t0, t1)};
+}
+
+struct Comparison {
+  std::string name;
+  RunStats cached;
+  RunStats uncached;
+  int iters = 0;
+
+  double CachedSps() const { return static_cast<double>(cached.steps) / cached.seconds; }
+  double UncachedSps() const { return static_cast<double>(uncached.steps) / uncached.seconds; }
+  double Speedup() const { return uncached.seconds / cached.seconds; }
+};
+
+void CheckInvisible(const Comparison& c) {
+  // Architectural invisibility, cheap version: identical step and simulated
+  // cycle counts. (The differential test suite compares whole machines.)
+  if (c.cached.steps != c.uncached.steps || c.cached.cycles != c.uncached.cycles) {
+    std::fprintf(stderr,
+                 "FATAL: %s diverged: steps %llu vs %llu, cycles %llu vs %llu\n",
+                 c.name.c_str(), static_cast<unsigned long long>(c.cached.steps),
+                 static_cast<unsigned long long>(c.uncached.steps),
+                 static_cast<unsigned long long>(c.cached.cycles),
+                 static_cast<unsigned long long>(c.uncached.cycles));
+    std::abort();
+  }
+}
+
+void EmitJson(const std::vector<Comparison>& rows, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::perror("BENCH_interp.json");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"interp\",\n  \"workloads\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Comparison& c = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"iters\": %d, \"steps\": %llu,\n"
+                 "     \"cached_steps_per_sec\": %.0f, \"uncached_steps_per_sec\": %.0f,\n"
+                 "     \"cached_seconds\": %.6f, \"uncached_seconds\": %.6f,\n"
+                 "     \"speedup\": %.2f}%s\n",
+                 c.name.c_str(), c.iters, static_cast<unsigned long long>(c.cached.steps),
+                 c.CachedSps(), c.UncachedSps(), c.cached.seconds, c.uncached.seconds,
+                 c.Speedup(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace komodo
+
+int main(int argc, char** argv) {
+  using komodo::Comparison;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+
+  const int notary_iters = smoke ? 1 : 12;
+  const int sha_iters = smoke ? 2 : 200;
+  const int smc_iters = smoke ? 10 : 2000;
+
+  std::vector<Comparison> rows;
+  {
+    Comparison c;
+    c.name = "notary_3000B";
+    c.iters = notary_iters;
+    c.cached = komodo::RunNotary(true, 3000, notary_iters);
+    c.uncached = komodo::RunNotary(false, 3000, notary_iters);
+    rows.push_back(c);
+  }
+  {
+    Comparison c;
+    c.name = "sha256_64B";
+    c.iters = sha_iters;
+    c.cached = komodo::RunNotary(true, 64, sha_iters);
+    c.uncached = komodo::RunNotary(false, 64, sha_iters);
+    rows.push_back(c);
+  }
+  {
+    Comparison c;
+    c.name = "smc_roundtrip";
+    c.iters = smc_iters;
+    c.cached = komodo::RunSmcRoundTrip(true, smc_iters);
+    c.uncached = komodo::RunSmcRoundTrip(false, smc_iters);
+    rows.push_back(c);
+  }
+
+  std::printf("=== Interpreter fast path: cached vs uncached ===\n");
+  std::printf("%-16s %12s %14s %14s %9s\n", "workload", "steps", "cached st/s",
+              "uncached st/s", "speedup");
+  for (const Comparison& c : rows) {
+    komodo::CheckInvisible(c);
+    std::printf("%-16s %12llu %14.0f %14.0f %8.2fx\n", c.name.c_str(),
+                static_cast<unsigned long long>(c.cached.steps), c.CachedSps(),
+                c.UncachedSps(), c.Speedup());
+  }
+  const Comparison& smc = rows.back();
+  std::printf("\nSMC round-trip: %.0f ns cached, %.0f ns uncached (per Enter/exit)\n",
+              smc.cached.seconds / smc.iters * 1e9, smc.uncached.seconds / smc.iters * 1e9);
+
+  komodo::EmitJson(rows, "BENCH_interp.json");
+  return 0;
+}

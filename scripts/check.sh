@@ -25,21 +25,29 @@ for arg in "$@"; do
   esac
 done
 
-echo "=== [1/4] tier-1: configure + build ==="
+echo "=== [1/5] tier-1: configure + build ==="
 cmake -B build -S . $(generator_for build) -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "=== [2/4] tier-1: ctest ==="
+echo "=== [2/5] tier-1: ctest ==="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [3/4] komodo-lint: shipped programs + fixtures ==="
+echo "=== [3/5] tier-1: ctest with interpreter caches disabled ==="
+# The fast-path caches (DESIGN.md §8) must be architecturally invisible;
+# the whole suite has to pass with them off as well.
+KOMODO_INTERP_CACHE=off ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== [4/5] bench smoke (cached/uncached invisibility check) ==="
+ctest --test-dir build -L bench-smoke --output-on-failure
+
+echo "=== [5/5] komodo-lint: shipped programs + fixtures ==="
 ./build/tools/komodo-lint --check-shipped
 ./build/tools/komodo-lint --check-fixtures
 
 if [[ "$SKIP_SANITIZERS" == 1 ]]; then
-  echo "=== [4/4] sanitizers: skipped (--skip-sanitizers) ==="
+  echo "=== sanitizers: skipped (--skip-sanitizers) ==="
 else
-  echo "=== [4/4] ASan+UBSan build + ctest ==="
+  echo "=== ASan+UBSan build + ctest ==="
   cmake -B build-asan -S . $(generator_for build-asan) \
     -DKOMODO_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j "$JOBS"

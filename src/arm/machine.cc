@@ -49,35 +49,6 @@ MachineState::MachineState(word nsecure_pages) : mem(nsecure_pages) {
   cpsr.fiq_masked = true;
 }
 
-word MachineState::ReadReg(Reg reg) const { return ReadRegMode(reg, cpsr.mode); }
-
-void MachineState::WriteReg(Reg reg, word value) { WriteRegMode(reg, value, cpsr.mode); }
-
-word MachineState::ReadRegMode(Reg reg, Mode m) const {
-  if (reg < SP) {
-    return r[reg];
-  }
-  if (reg == SP) {
-    return sp_banked[static_cast<size_t>(m)];
-  }
-  if (reg == LR) {
-    return lr_banked[static_cast<size_t>(m)];
-  }
-  return pc;
-}
-
-void MachineState::WriteRegMode(Reg reg, word value, Mode m) {
-  if (reg < SP) {
-    r[reg] = value;
-  } else if (reg == SP) {
-    sp_banked[static_cast<size_t>(m)] = value;
-  } else if (reg == LR) {
-    lr_banked[static_cast<size_t>(m)] = value;
-  } else {
-    pc = value;
-  }
-}
-
 void MachineState::TakeException(Exception e, word return_addr) {
   const Mode target = ExceptionTargetMode(e);
   lr_banked[static_cast<size_t>(target)] = return_addr;
@@ -105,17 +76,20 @@ void MachineState::ExceptionReturn(word target) {
 void MachineState::WriteTtbr0(word value) {
   ttbr0 = value;
   tlb_consistent = false;
+  interp.InvalidateTlb();
   cycles.Charge(kCortexA7Costs.cp15_access);
 }
 
 void MachineState::FlushTlb() {
   tlb_consistent = true;
+  interp.InvalidateTlb();
   cycles.Charge(kCortexA7Costs.tlb_flush_all);
 }
 
 void MachineState::SetScrNs(bool ns) {
   assert(cpsr.mode == Mode::kMonitor);
   scr_ns = ns;
+  interp.InvalidateTlb();
   cycles.Charge(kCortexA7Costs.world_switch);
 }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "src/arm/cycle_model.h"
+#include "src/arm/interp_cache.h"
 #include "src/arm/memory.h"
 #include "src/arm/psr.h"
 #include "src/arm/types.h"
@@ -71,6 +72,15 @@ struct MachineState {
   PhysMemory mem;
   CycleCounter cycles;
 
+  // Interpreter fast-path caches (DESIGN.md §8). Architecturally invisible
+  // bookkeeping: mutable because even const translations may fill them, and
+  // excluded from any state comparison. KOMODO_INTERP_CACHE=off disables.
+  mutable InterpCaches interp;
+
+  // Instructions the interpreter has stepped (bookkeeping for benchmarks;
+  // identical across cached/uncached runs of the same program).
+  uint64_t steps_retired = 0;
+
   // --- Accessors honouring register banking ---------------------------------
   World CurrentWorld() const {
     // Monitor mode is always secure regardless of SCR.NS (DDI 0406C §B1.5.1).
@@ -80,10 +90,32 @@ struct MachineState {
     return scr_ns ? World::kNormal : World::kSecure;
   }
 
-  word ReadReg(Reg reg) const;           // current-mode view (SP/LR banked)
-  void WriteReg(Reg reg, word value);    // PC writes are a branch
-  word ReadRegMode(Reg reg, Mode m) const;
-  void WriteRegMode(Reg reg, word value, Mode m);
+  // Inline: these sit on the interpreter's per-operand hot path.
+  word ReadRegMode(Reg reg, Mode m) const {
+    if (reg < SP) {
+      return r[reg];
+    }
+    if (reg == SP) {
+      return sp_banked[static_cast<size_t>(m)];
+    }
+    if (reg == LR) {
+      return lr_banked[static_cast<size_t>(m)];
+    }
+    return pc;
+  }
+  void WriteRegMode(Reg reg, word value, Mode m) {
+    if (reg < SP) {
+      r[reg] = value;
+    } else if (reg == SP) {
+      sp_banked[static_cast<size_t>(m)] = value;
+    } else if (reg == LR) {
+      lr_banked[static_cast<size_t>(m)] = value;
+    } else {
+      pc = value;
+    }
+  }
+  word ReadReg(Reg reg) const { return ReadRegMode(reg, cpsr.mode); }  // SP/LR banked
+  void WriteReg(Reg reg, word value) { WriteRegMode(reg, value, cpsr.mode); }
 
   Psr& Spsr() { return spsr_banked[static_cast<size_t>(cpsr.mode)]; }
   const Psr& Spsr() const { return spsr_banked[static_cast<size_t>(cpsr.mode)]; }
@@ -105,6 +137,11 @@ struct MachineState {
   void WriteTtbr0(word value);     // marks TLB inconsistent
   void FlushTlb();                 // TLBIALL: marks TLB consistent
   void SetScrNs(bool ns);          // world switch (monitor mode only)
+
+  // Marks the TLB inconsistent without a TTBR write — the hook monitor code
+  // uses after editing a live page table from C++ (InstallMapping,
+  // UnmapData); a later FlushTlb restores consistency.
+  void NoteTlbStale() { tlb_consistent = false; }
 };
 
 }  // namespace komodo::arm

@@ -1,6 +1,7 @@
 #include "src/arm/memory.h"
 
-#include <cassert>
+#include <algorithm>
+#include <bit>
 #include <cstring>
 
 namespace komodo::arm {
@@ -9,22 +10,9 @@ PhysMemory::PhysMemory(word nsecure_pages)
     : nsecure_pages_(nsecure_pages),
       insecure_(kInsecureSize / kWordSize, 0),
       monitor_(kMonitorSize / kWordSize, 0),
-      secure_(static_cast<size_t>(nsecure_pages) * kWordsPerPage, 0) {
+      secure_(static_cast<size_t>(nsecure_pages) * kWordsPerPage, 0),
+      page_gen_((kInsecureSize + kMonitorSize) / kPageSize + nsecure_pages, 0) {
   assert(nsecure_pages >= 1 && nsecure_pages <= kMaxSecurePages);
-}
-
-MemRegion PhysMemory::RegionOf(paddr addr) const {
-  if (addr >= kInsecureBase && addr < kInsecureBase + kInsecureSize) {
-    return MemRegion::kInsecure;
-  }
-  if (addr >= kMonitorBase && addr < kMonitorBase + kMonitorSize) {
-    return MemRegion::kMonitor;
-  }
-  const word secure_size = nsecure_pages_ * kPageSize;
-  if (addr >= kSecurePagesBase && addr < kSecurePagesBase + secure_size) {
-    return MemRegion::kSecurePages;
-  }
-  return MemRegion::kUnmapped;
 }
 
 const std::vector<word>* PhysMemory::BackingFor(paddr addr, size_t* index) const {
@@ -44,51 +32,47 @@ const std::vector<word>* PhysMemory::BackingFor(paddr addr, size_t* index) const
   return nullptr;
 }
 
-word PhysMemory::Read(paddr addr) const {
-  assert(IsWordAligned(addr));
-  size_t index = 0;
-  const std::vector<word>* backing = BackingFor(addr, &index);
-  assert(backing != nullptr);
-  return (*backing)[index];
-}
-
-void PhysMemory::Write(paddr addr, word value) {
-  assert(IsWordAligned(addr));
-  size_t index = 0;
-  const std::vector<word>* backing = BackingFor(addr, &index);
-  assert(backing != nullptr);
-  const_cast<std::vector<word>*>(backing)->at(index) = value;
-}
-
 void PhysMemory::ReadPage(paddr page_base, word out[kWordsPerPage]) const {
   assert(IsPageAligned(page_base));
-  for (word i = 0; i < kWordsPerPage; ++i) {
-    out[i] = Read(page_base + i * kWordSize);
-  }
+  size_t index = 0;
+  const std::vector<word>* backing = BackingFor(page_base, &index);
+  assert(backing != nullptr);
+  std::memcpy(out, backing->data() + index, kPageSize);
 }
 
 void PhysMemory::WritePage(paddr page_base, const word in[kWordsPerPage]) {
   assert(IsPageAligned(page_base));
-  for (word i = 0; i < kWordsPerPage; ++i) {
-    Write(page_base + i * kWordSize, in[i]);
-  }
+  size_t index = 0;
+  std::vector<word>* backing = BackingFor(page_base, &index);
+  assert(backing != nullptr);
+  std::memcpy(backing->data() + index, in, kPageSize);
+  ++page_gen_[PageIndexOf(page_base)];
 }
 
 void PhysMemory::ZeroPage(paddr page_base) {
   assert(IsPageAligned(page_base));
-  for (word i = 0; i < kWordsPerPage; ++i) {
-    Write(page_base + i * kWordSize, 0);
-  }
+  size_t index = 0;
+  std::vector<word>* backing = BackingFor(page_base, &index);
+  assert(backing != nullptr);
+  std::fill_n(backing->data() + index, kWordsPerPage, 0u);
+  ++page_gen_[PageIndexOf(page_base)];
 }
 
 void PhysMemory::ReadPageBytes(paddr page_base, uint8_t* bytes_out) const {
   assert(IsPageAligned(page_base));
-  for (word i = 0; i < kWordsPerPage; ++i) {
-    const word w = Read(page_base + i * kWordSize);
-    bytes_out[i * 4 + 0] = static_cast<uint8_t>(w & 0xff);
-    bytes_out[i * 4 + 1] = static_cast<uint8_t>((w >> 8) & 0xff);
-    bytes_out[i * 4 + 2] = static_cast<uint8_t>((w >> 16) & 0xff);
-    bytes_out[i * 4 + 3] = static_cast<uint8_t>((w >> 24) & 0xff);
+  size_t index = 0;
+  const std::vector<word>* backing = BackingFor(page_base, &index);
+  assert(backing != nullptr);
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(bytes_out, backing->data() + index, kPageSize);
+  } else {
+    for (word i = 0; i < kWordsPerPage; ++i) {
+      const word w = (*backing)[index + i];
+      bytes_out[i * 4 + 0] = static_cast<uint8_t>(w & 0xff);
+      bytes_out[i * 4 + 1] = static_cast<uint8_t>((w >> 8) & 0xff);
+      bytes_out[i * 4 + 2] = static_cast<uint8_t>((w >> 16) & 0xff);
+      bytes_out[i * 4 + 3] = static_cast<uint8_t>((w >> 24) & 0xff);
+    }
   }
 }
 

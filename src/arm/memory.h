@@ -5,10 +5,19 @@
 // Memory is split into the three regions of the physical map (insecure RAM,
 // monitor image, secure pages) so that region predicates — which the monitor's
 // validity checks depend on — are cheap and explicit.
+//
+// Hot-path design: the three regions are flat vectors and the word accessors
+// are inline single-branch span lookups (DESIGN.md §8). Every page carries a
+// generation counter bumped on any store into it; the interpreter's decode
+// cache and micro-TLB validate their entries against these generations, which
+// makes them coherent against *any* writer (interpreted stores, monitor C++
+// code, or test-harness pokes) without explicit invalidation hooks.
 #ifndef SRC_ARM_MEMORY_H_
 #define SRC_ARM_MEMORY_H_
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/arm/types.h"
@@ -26,14 +35,54 @@ class PhysMemory {
 
   word nsecure_pages() const { return nsecure_pages_; }
 
-  MemRegion RegionOf(paddr addr) const;
+  MemRegion RegionOf(paddr addr) const {
+    // Regions are disjoint; unsigned wraparound makes each test one compare.
+    if (addr - kInsecureBase < kInsecureSize) {
+      return MemRegion::kInsecure;
+    }
+    if (addr - kMonitorBase < kMonitorSize) {
+      return MemRegion::kMonitor;
+    }
+    if (addr - kSecurePagesBase < nsecure_pages_ * kPageSize) {
+      return MemRegion::kSecurePages;
+    }
+    return MemRegion::kUnmapped;
+  }
   bool IsValidPhys(paddr addr) const { return RegionOf(addr) != MemRegion::kUnmapped; }
 
   // Word access. Addresses must be word-aligned and mapped; the model treats a
   // violation as a programming error in the caller (the interpreter raises an
   // architectural fault *before* calling these).
-  word Read(paddr addr) const;
-  void Write(paddr addr, word value);
+  word Read(paddr addr) const {
+    assert(IsWordAligned(addr));
+    const word* p = WordPtr(addr);
+    assert(p != nullptr);
+    return *p;
+  }
+  void Write(paddr addr, word value) {
+    assert(IsWordAligned(addr));
+    size_t page_index = 0;
+    word* p = WordPtr(addr, &page_index);
+    assert(p != nullptr);
+    *p = value;
+    ++page_gen_[page_index];
+  }
+
+  // Generation bookkeeping for the interpreter caches: every store bumps the
+  // containing page's counter. Unmapped addresses report the constant
+  // generation 0 (they can never be written). `PageIndexOf` resolves an
+  // address to its stable global page index once, so cache entries revalidate
+  // with a single indexed load (`PageGenAt`) instead of a region decode.
+  static constexpr size_t kNoPage = static_cast<size_t>(-1);
+  size_t PageIndexOf(paddr addr) const {
+    size_t page_index = kNoPage;
+    (void)WordPtr(addr & ~3u, &page_index);
+    return page_index;
+  }
+  uint32_t PageGenAt(size_t page_index) const {
+    return page_index == kNoPage ? 0 : page_gen_[page_index];
+  }
+  uint32_t PageGen(paddr addr) const { return PageGenAt(PageIndexOf(addr)); }
 
   // Bulk helpers used by loaders, page initialisation and hashing.
   void ReadPage(paddr page_base, word out[kWordsPerPage]) const;
@@ -44,7 +93,12 @@ class PhysMemory {
   // must hold kPageSize bytes; words are serialised little-endian.
   void ReadPageBytes(paddr page_base, uint8_t* bytes_out) const;
 
-  bool operator==(const PhysMemory&) const = default;
+  // Architectural equality: contents only. Page generations are cache
+  // bookkeeping and must not distinguish observably-equal memories.
+  bool operator==(const PhysMemory& o) const {
+    return nsecure_pages_ == o.nsecure_pages_ && insecure_ == o.insecure_ &&
+           monitor_ == o.monitor_ && secure_ == o.secure_;
+  }
 
   // Whole-region views for the equivalence relations (fast comparison of all
   // insecure memory without per-word region lookups).
@@ -52,13 +106,55 @@ class PhysMemory {
   const std::vector<word>& secure_words() const { return secure_; }
 
  private:
+  // Pointer to the backing word, or nullptr if unmapped. The non-const form
+  // also yields the global page index (for the generation bump) so the region
+  // decode happens once per access.
+  const word* WordPtr(paddr addr, size_t* page_index = nullptr) const;
+  word* WordPtr(paddr addr, size_t* page_index = nullptr) {
+    return const_cast<word*>(static_cast<const PhysMemory*>(this)->WordPtr(addr, page_index));
+  }
+
+  // Region backing a page-aligned address, with the word index of `addr` in
+  // it; non-const overload for writers (no const_cast at call sites).
   const std::vector<word>* BackingFor(paddr addr, size_t* index) const;
+  std::vector<word>* BackingFor(paddr addr, size_t* index) {
+    return const_cast<std::vector<word>*>(
+        static_cast<const PhysMemory*>(this)->BackingFor(addr, index));
+  }
 
   word nsecure_pages_;
   std::vector<word> insecure_;
   std::vector<word> monitor_;
   std::vector<word> secure_;
+  // One generation counter per mapped page, across all three regions in
+  // layout order (insecure, monitor, secure).
+  std::vector<uint32_t> page_gen_;
 };
+
+inline const word* PhysMemory::WordPtr(paddr addr, size_t* page_index) const {
+  if (addr - kInsecureBase < kInsecureSize) {
+    const paddr off = addr - kInsecureBase;
+    if (page_index != nullptr) {
+      *page_index = off / kPageSize;
+    }
+    return &insecure_[off / kWordSize];
+  }
+  if (addr - kMonitorBase < kMonitorSize) {
+    const paddr off = addr - kMonitorBase;
+    if (page_index != nullptr) {
+      *page_index = kInsecureSize / kPageSize + off / kPageSize;
+    }
+    return &monitor_[off / kWordSize];
+  }
+  if (addr - kSecurePagesBase < nsecure_pages_ * kPageSize) {
+    const paddr off = addr - kSecurePagesBase;
+    if (page_index != nullptr) {
+      *page_index = (kInsecureSize + kMonitorSize) / kPageSize + off / kPageSize;
+    }
+    return &secure_[off / kWordSize];
+  }
+  return nullptr;
+}
 
 // True iff the page-aligned physical address `page_base` lies entirely in
 // insecure RAM — i.e. it overlaps neither the monitor image nor the secure

@@ -225,7 +225,7 @@ word Monitor::InstallL2Table(PageNr as_page, PageNr l2pt_page, word l1index) {
   }
   // If this is the live table, the TLB may now be stale.
   if (machine_.ttbr0 == l1pt) {
-    machine_.tlb_consistent = false;
+    machine_.NoteTlbStale();
   }
   return kErrSuccess;
 }
@@ -237,7 +237,7 @@ word Monitor::InstallMapping(PageNr as_page, word mapping, paddr target, bool ns
   ops_.StorePhys(slot, arm::MakeL2SmallPageDesc(target, (perms & kMapW) != 0,
                                                 (perms & kMapX) != 0, ns));
   if (machine_.ttbr0 == PagePaddr(db_.AsL1Pt(as_page))) {
-    machine_.tlb_consistent = false;
+    machine_.NoteTlbStale();
   }
   return kErrSuccess;
 }

@@ -451,7 +451,7 @@ Monitor::SvcResult Monitor::SvcUnmapData(PageNr as_page, PageNr data_page, word 
     return {kErrInvalidMapping, 0, false, 0};
   }
   ops_.StorePhys(slot, arm::kL2FaultDesc);
-  machine_.tlb_consistent = false;
+  machine_.NoteTlbStale();
   db_.SetType(data_page, PageType::kSparePage);
   return {kErrSuccess, 0, false, 0};
 }
