@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/bench_util.h"
 #include "src/enclave/native_runtime.h"
 #include "src/os/world.h"
 
@@ -37,7 +38,11 @@ uint64_t MeasureEnterExit(const Monitor::Config& config) {
   return w.machine.cycles.total() - before;
 }
 
-void PrintAblation() {
+struct AblationResults {
+  uint64_t base, flush, lazy, both;
+};
+
+AblationResults MeasureAblation() {
   Monitor::Config baseline;
   Monitor::Config skip_flush;
   skip_flush.opt_skip_redundant_tlb_flush = true;
@@ -47,10 +52,15 @@ void PrintAblation() {
   both.opt_skip_redundant_tlb_flush = true;
   both.opt_lazy_banked_regs = true;
 
-  const uint64_t c_base = MeasureEnterExit(baseline);
-  const uint64_t c_flush = MeasureEnterExit(skip_flush);
-  const uint64_t c_lazy = MeasureEnterExit(lazy_banked);
-  const uint64_t c_both = MeasureEnterExit(both);
+  return {MeasureEnterExit(baseline), MeasureEnterExit(skip_flush),
+          MeasureEnterExit(lazy_banked), MeasureEnterExit(both)};
+}
+
+void PrintAblation(const AblationResults& r) {
+  const uint64_t c_base = r.base;
+  const uint64_t c_flush = r.flush;
+  const uint64_t c_lazy = r.lazy;
+  const uint64_t c_both = r.both;
 
   std::printf("\n=== Ablation: §8.1 entry-path optimisations (Enter+Exit, cycles) ===\n");
   std::printf("%-44s %10s %10s\n", "configuration", "cycles", "saved");
@@ -69,6 +79,17 @@ void PrintAblation() {
       "\nBoth optimisations must preserve every correctness and security test (the suites\n"
       "run them; see tests/). The paper defers them until proven — here the property tests\n"
       "play that role.\n");
+}
+
+void EmitJson(const AblationResults& r) {
+  bench::BenchJson json("ablation_entry");
+  json.Config("workload", "enter_exit_warm");
+  json.Result("baseline", "sim_cycles", static_cast<double>(r.base), "cycles");
+  json.Result("skip_redundant_tlb_flush", "sim_cycles", static_cast<double>(r.flush), "cycles");
+  json.Result("lazy_banked_regs", "sim_cycles", static_cast<double>(r.lazy), "cycles");
+  json.Result("both", "sim_cycles", static_cast<double>(r.both), "cycles");
+  json.Result("both", "saved_cycles", static_cast<double>(r.base - r.both), "cycles");
+  json.Write("BENCH_ablation_entry.json");
 }
 
 void BM_EnterExitBaseline(benchmark::State& state) {
@@ -92,7 +113,9 @@ BENCHMARK(BM_EnterExitOptimised)->Unit(benchmark::kMillisecond);
 }  // namespace komodo
 
 int main(int argc, char** argv) {
-  komodo::PrintAblation();
+  const komodo::AblationResults results = komodo::MeasureAblation();
+  komodo::PrintAblation(results);
+  komodo::EmitJson(results);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -6,7 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "src/os/world.h"
 #include "src/sgx/sgx_model.h"
 
@@ -76,16 +79,31 @@ uint64_t SgxBuildCycles(sgx::word data_pages) {
   return m.cycles();
 }
 
-void PrintBuildComparison() {
+struct BuildRow {
+  word pages;
+  uint64_t komodo_cycles;
+  uint64_t sgx_cycles;
+};
+
+std::vector<BuildRow> MeasureBuild() {
+  std::vector<BuildRow> rows;
+  for (word n : {1u, 4u, 16u, 64u, 128u}) {
+    rows.push_back({n, KomodoBuildCycles(n), SgxBuildCycles(n)});
+  }
+  return rows;
+}
+
+void PrintBuildComparison(const std::vector<BuildRow>& rows) {
   std::printf("\n=== Extension: enclave construction cost vs size (cycles) ===\n");
   std::printf("%12s %14s %14s %14s %14s\n", "data pages", "Komodo", "per page", "SGX",
               "per page");
   uint64_t prev_k = 0;
   uint64_t prev_s = 0;
   word prev_n = 0;
-  for (word n : {1u, 4u, 16u, 64u, 128u}) {
-    const uint64_t k = KomodoBuildCycles(n);
-    const uint64_t s = SgxBuildCycles(n);
+  for (const BuildRow& row : rows) {
+    const word n = row.pages;
+    const uint64_t k = row.komodo_cycles;
+    const uint64_t s = row.sgx_cycles;
     const double k_per = prev_n ? static_cast<double>(k - prev_k) / (n - prev_n) : 0;
     const double s_per = prev_n ? static_cast<double>(s - prev_s) / (n - prev_n) : 0;
     std::printf("%12u %14llu %14.0f %14llu %14.0f\n", n, static_cast<unsigned long long>(k),
@@ -98,6 +116,17 @@ void PrintBuildComparison() {
       "\nBoth are dominated by per-page measurement hashing (64 SHA-256 blocks/page); the\n"
       "marginal costs should be within ~2x of each other. Komodo additionally copies page\n"
       "contents into secure RAM; SGX pays per-256B EEXTEND microcode flows.\n");
+}
+
+void EmitJson(const std::vector<BuildRow>& rows) {
+  bench::BenchJson json("enclave_build");
+  json.Config("page_sizes", "1,4,16,64,128");
+  for (const BuildRow& row : rows) {
+    const std::string name = "pages_" + std::to_string(row.pages);
+    json.Result(name, "komodo_cycles", static_cast<double>(row.komodo_cycles), "cycles");
+    json.Result(name, "sgx_cycles", static_cast<double>(row.sgx_cycles), "cycles");
+  }
+  json.Write("BENCH_enclave_build.json");
 }
 
 void BM_KomodoBuild64(benchmark::State& state) {
@@ -118,7 +147,9 @@ BENCHMARK(BM_SgxBuild64)->Unit(benchmark::kMillisecond);
 }  // namespace komodo
 
 int main(int argc, char** argv) {
-  komodo::PrintBuildComparison();
+  const std::vector<komodo::BuildRow> rows = komodo::MeasureBuild();
+  komodo::PrintBuildComparison(rows);
+  komodo::EmitJson(rows);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

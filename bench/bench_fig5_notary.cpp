@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -25,7 +26,10 @@ struct NotaryRig {
   PageNr thread = 0;
   word doc_pg0 = 0;
 
-  explicit NotaryRig(uint64_t key_seed) {
+  explicit NotaryRig(uint64_t key_seed, bool trace = false) {
+    if (trace) {
+      w.monitor.obs().Enable();  // before the build, so the SMCs trace too
+    }
     auto& os = w.os;
     const PageNr as = os.AllocSecurePage();
     const PageNr l1pt = os.AllocSecurePage();
@@ -123,6 +127,36 @@ void PrintFig5(const std::vector<Fig5Row>& rows) {
       "tiny at every size.\n");
 }
 
+void EmitJson(const std::vector<Fig5Row>& rows) {
+  bench::BenchJson json("fig5_notary");
+  json.Config("clock_mhz", static_cast<uint64_t>(900));
+  for (const Fig5Row& r : rows) {
+    const std::string name = "doc_" + std::to_string(r.kb) + "kB";
+    json.Result(name, "enclave_ms", r.enclave_ms, "ms");
+    json.Result(name, "native_ms", r.native_ms, "ms");
+    json.Result(name, "overhead_pct", (r.enclave_ms - r.native_ms) / r.native_ms * 100.0, "%");
+  }
+  json.Write("BENCH_fig5_notary.json");
+}
+
+// --trace: run one mid-size notarisation with the tracer live and dump the
+// chrome://tracing timeline plus the per-call metrics rollup. This is the
+// showcase artifact for DESIGN.md §9 (load TRACE_fig5_notary.json in
+// Perfetto to see the SMC/SVC spans of a real Fig. 5 workload).
+void RunTraced() {
+  NotaryRig rig(4242, /*trace=*/true);
+  for (size_t kb : {4, 64}) {
+    const std::vector<uint8_t> doc(kb * 1024, static_cast<uint8_t>(kb));
+    rig.StageDocument(doc);
+    rig.NotarizeCycles(doc.size());
+  }
+  if (!rig.w.monitor.obs().WriteChromeTrace("TRACE_fig5_notary.json") ||
+      !rig.w.monitor.obs().WriteMetrics("METRICS_fig5_notary.json")) {
+    std::abort();
+  }
+  std::printf("wrote TRACE_fig5_notary.json\nwrote METRICS_fig5_notary.json\n");
+}
+
 void BM_NotaryEnclave(benchmark::State& state) {
   NotaryRig rig(1);
   const size_t kb = static_cast<size_t>(state.range(0));
@@ -149,7 +183,15 @@ BENCHMARK(BM_NotaryNative)->Arg(4)->Arg(64)->Arg(512);
 }  // namespace komodo
 
 int main(int argc, char** argv) {
-  komodo::PrintFig5(komodo::MeasureFig5());
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      komodo::RunTraced();
+      return 0;
+    }
+  }
+  const std::vector<komodo::Fig5Row> rows = komodo::MeasureFig5();
+  komodo::PrintFig5(rows);
+  komodo::EmitJson(rows);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -112,27 +112,19 @@ void CheckInvisible(const Comparison& c) {
   }
 }
 
-void EmitJson(const std::vector<Comparison>& rows, const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::perror("BENCH_interp.json");
-    return;
+void EmitJson(const std::vector<Comparison>& rows, bool smoke, const char* path) {
+  bench::BenchJson json("interp");
+  json.Config("smoke", smoke);
+  for (const Comparison& c : rows) {
+    json.Config(c.name + "_iters", static_cast<uint64_t>(c.iters));
+    json.Result(c.name, "steps", static_cast<double>(c.cached.steps), "count");
+    json.Result(c.name, "cached_steps_per_sec", c.CachedSps(), "steps/s");
+    json.Result(c.name, "uncached_steps_per_sec", c.UncachedSps(), "steps/s");
+    json.Result(c.name, "cached_seconds", c.cached.seconds, "s");
+    json.Result(c.name, "uncached_seconds", c.uncached.seconds, "s");
+    json.Result(c.name, "speedup", c.Speedup(), "x");
   }
-  std::fprintf(f, "{\n  \"bench\": \"interp\",\n  \"workloads\": [\n");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Comparison& c = rows[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"iters\": %d, \"steps\": %llu,\n"
-                 "     \"cached_steps_per_sec\": %.0f, \"uncached_steps_per_sec\": %.0f,\n"
-                 "     \"cached_seconds\": %.6f, \"uncached_seconds\": %.6f,\n"
-                 "     \"speedup\": %.2f}%s\n",
-                 c.name.c_str(), c.iters, static_cast<unsigned long long>(c.cached.steps),
-                 c.CachedSps(), c.UncachedSps(), c.cached.seconds, c.uncached.seconds,
-                 c.Speedup(), i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote %s\n", path);
+  json.Write(path);
 }
 
 }  // namespace
@@ -190,6 +182,6 @@ int main(int argc, char** argv) {
   std::printf("\nSMC round-trip: %.0f ns cached, %.0f ns uncached (per Enter/exit)\n",
               smc.cached.seconds / smc.iters * 1e9, smc.uncached.seconds / smc.iters * 1e9);
 
-  komodo::EmitJson(rows, "BENCH_interp.json");
+  komodo::EmitJson(rows, smoke, "BENCH_interp.json");
   return 0;
 }

@@ -96,9 +96,7 @@ SgxCrossings MeasureSgx() {
   return {enter_exit, aug_accept};
 }
 
-void PrintComparison() {
-  const KomodoCrossings k = MeasureKomodo();
-  const SgxCrossings s = MeasureSgx();
+void PrintComparison(const KomodoCrossings& k, const SgxCrossings& s) {
   std::printf("\n=== Section 8.1: Komodo vs SGX crossing costs (cycles) ===\n");
   std::printf("%-34s %12s %12s %10s\n", "operation", "SGX", "Komodo", "speedup");
   std::printf("%-34s %12llu %12llu %9.1fx\n", "full crossing (enter + exit)",
@@ -113,6 +111,20 @@ void PrintComparison() {
       "\nPaper claim: SGX full crossing ~7,100 cycles vs Komodo 738 — \"an order of\n"
       "magnitude improvement\". The shape check is speedup >= ~5x.\n");
   std::printf("(Paper reference values: SGX EENTER 3,800 + EEXIT 3,300 = 7,100; Komodo 738.)\n");
+}
+
+void EmitJson(const KomodoCrossings& k, const SgxCrossings& s) {
+  bench::BenchJson json("sgx_comparison");
+  json.Config("sgx_reference", "Orenbach et al. [66]");
+  json.Result("enter_exit", "komodo_cycles", static_cast<double>(k.enter_exit), "cycles");
+  json.Result("enter_exit", "sgx_cycles", static_cast<double>(s.enter_exit), "cycles");
+  json.Result("enter_exit", "speedup",
+              static_cast<double>(s.enter_exit) / static_cast<double>(k.enter_exit), "x");
+  json.Result("dynamic_page", "komodo_cycles", static_cast<double>(k.alloc_and_map), "cycles");
+  json.Result("dynamic_page", "sgx_cycles", static_cast<double>(s.aug_accept), "cycles");
+  json.Result("dynamic_page", "speedup",
+              static_cast<double>(s.aug_accept) / static_cast<double>(k.alloc_and_map), "x");
+  json.Write("BENCH_sgx_comparison.json");
 }
 
 void BM_SgxEnterExit(benchmark::State& state) {
@@ -133,7 +145,10 @@ BENCHMARK(BM_SgxEnterExit);
 }  // namespace komodo
 
 int main(int argc, char** argv) {
-  komodo::PrintComparison();
+  const komodo::KomodoCrossings k = komodo::MeasureKomodo();
+  const komodo::SgxCrossings s = komodo::MeasureSgx();
+  komodo::PrintComparison(k, s);
+  komodo::EmitJson(k, s);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/core/call_table.h"
 #include "src/enclave/native_runtime.h"
 #include "src/os/world.h"
 
@@ -153,6 +154,33 @@ void PrintTable3(const Table3Results& r) {
       "Attest/Verify ~= 5 SHA-256 compressions; MapData ~= 4kB zero-fill. See EXPERIMENTS.md.\n");
 }
 
+void EmitJson(const Table3Results& r) {
+  bench::BenchJson json("table3_microbench");
+  json.Config("pages", static_cast<uint64_t>(128));
+  // Single-call rows take their names from the call registry, so the JSON
+  // vocabulary cannot drift from src/core/call_list.inc; compound rows
+  // (enter_exit, enter_only, resume_only) are named for the measured span.
+  const struct {
+    const char* name;
+    uint64_t cycles;
+    uint64_t paper;
+  } rows[] = {
+      {FindSmc(kSmcGetPhysPages)->name, r.null_smc, 123},
+      {"enter_exit", r.enter_exit, 738},
+      {"enter_only", r.enter_only, 496},
+      {"resume_only", r.resume_only, 625},
+      {FindSvc(kSvcAttest)->name, r.attest, 12411},
+      {FindSvc(kSvcVerify)->name, r.verify, 13373},
+      {FindSmc(kSmcAllocSpare)->name, r.alloc_spare, 217},
+      {FindSvc(kSvcMapData)->name, r.map_data, 5826},
+  };
+  for (const auto& row : rows) {
+    json.Result(row.name, "sim_cycles", static_cast<double>(row.cycles), "cycles");
+    json.Result(row.name, "paper_cycles", static_cast<double>(row.paper), "cycles");
+  }
+  json.Write("BENCH_table3.json");
+}
+
 // Wall-clock benchmarks of the simulator itself (how fast the model runs on
 // the host; the paper's numbers are the simulated cycles above).
 void BM_NullSmc(benchmark::State& state) {
@@ -192,6 +220,7 @@ BENCHMARK(BM_Attest);
 int main(int argc, char** argv) {
   const komodo::Table3Results results = komodo::MeasureTable3();
   komodo::PrintTable3(results);
+  komodo::EmitJson(results);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

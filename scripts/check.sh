@@ -25,22 +25,35 @@ for arg in "$@"; do
   esac
 done
 
-echo "=== [1/5] tier-1: configure + build ==="
+echo "=== [1/7] tier-1: configure + build ==="
 cmake -B build -S . $(generator_for build) -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "=== [2/5] tier-1: ctest ==="
+echo "=== [2/7] tier-1: ctest ==="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [3/5] tier-1: ctest with interpreter caches disabled ==="
+echo "=== [3/7] tier-1: ctest with interpreter caches disabled ==="
 # The fast-path caches (DESIGN.md §8) must be architecturally invisible;
 # the whole suite has to pass with them off as well.
 KOMODO_INTERP_CACHE=off ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [4/5] bench smoke (cached/uncached invisibility check) ==="
+echo "=== [4/7] tier-1: ctest with tracing enabled ==="
+# The tracer (DESIGN.md §9) must be architecturally invisible too: the whole
+# suite — including the cycle-regression test — has to pass with every
+# monitor tracing into a live ring buffer.
+KOMODO_TRACE=on ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== [5/7] bench smoke (cached/uncached invisibility check) ==="
 ctest --test-dir build -L bench-smoke --output-on-failure
 
-echo "=== [5/5] komodo-lint: shipped programs + fixtures ==="
+echo "=== [6/7] bench/trace JSON artifacts validate ==="
+# The bench-smoke runs above emitted komodo-bench-v1 / komodo-metrics-v1 /
+# chrome-trace artifacts into build/bench; a drifting emitter fails here.
+./build/tools/komodo-benchjson build/bench/BENCH_*.json \
+  build/bench/METRICS_fig5_notary.json
+./build/tools/komodo-benchjson --schema chrome build/bench/TRACE_fig5_notary.json
+
+echo "=== [7/7] komodo-lint: shipped programs + fixtures ==="
 ./build/tools/komodo-lint --check-shipped
 ./build/tools/komodo-lint --check-fixtures
 

@@ -82,6 +82,7 @@ void MachineState::WriteTtbr0(word value) {
 
 void MachineState::FlushTlb() {
   tlb_consistent = true;
+  ++tlb_flushes;
   interp.InvalidateTlb();
   cycles.Charge(kCortexA7Costs.tlb_flush_all);
 }

@@ -81,6 +81,10 @@ struct MachineState {
   // identical across cached/uncached runs of the same program).
   uint64_t steps_retired = 0;
 
+  // FlushTlb invocations (bookkeeping for the tracer's per-call attribution;
+  // architecturally invisible, like steps_retired).
+  uint64_t tlb_flushes = 0;
+
   // --- Accessors honouring register banking ---------------------------------
   World CurrentWorld() const {
     // Monitor mode is always secure regardless of SCR.NS (DDI 0406C §B1.5.1).

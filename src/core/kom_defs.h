@@ -50,28 +50,60 @@ enum KomSvc : word {
 };
 
 // --- Error codes ---------------------------------------------------------------
-enum KomErr : word {
-  kErrSuccess = 0,
-  kErrInvalidPageNo = 1,
-  kErrPageInUse = 2,
-  kErrInvalidAddrspace = 3,
-  kErrAlreadyFinal = 4,
-  kErrNotFinal = 5,
-  kErrInvalidMapping = 6,
-  kErrAddrInUse = 7,
-  kErrNotStopped = 8,
-  kErrInterrupted = 9,
-  kErrFault = 10,
-  kErrAlreadyEntered = 11,
-  kErrNotEntered = 12,
-  kErrPageTableMissing = 13,
-  kErrInvalidArgument = 14,
-  kErrNotFinalised = 15,
-  kErrInvalidSvc = 16,
-  kErrNotSpare = 17,
+// Typed error codes used by the monitor's handlers and dispatch (the
+// registry's `CallResult`/`SvcResult` carry a KomErr, never a raw word); the
+// enum class keeps handler code from mixing error codes with page numbers or
+// values. The raw `kErr*` word constants below are the SMC ABI encoding —
+// what lands in r0 on return to the OS — and remain the vocabulary of the
+// spec, the OS model and the tests, which all sit on the ABI side.
+enum class KomErr : word {
+  kSuccess = 0,
+  kInvalidPageNo = 1,
+  kPageInUse = 2,
+  kInvalidAddrspace = 3,
+  kAlreadyFinal = 4,
+  kNotFinal = 5,
+  kInvalidMapping = 6,
+  kAddrInUse = 7,
+  kNotStopped = 8,
+  kInterrupted = 9,
+  kFault = 10,
+  kAlreadyEntered = 11,
+  kNotEntered = 12,
+  kPageTableMissing = 13,
+  kInvalidArgument = 14,
+  kNotFinalised = 15,
+  kInvalidSvc = 16,
+  kNotSpare = 17,
 };
 
+// The ABI words, value-identical to the enum above (checked by
+// tests/core/call_table_test.cc).
+inline constexpr word kErrSuccess = 0;
+inline constexpr word kErrInvalidPageNo = 1;
+inline constexpr word kErrPageInUse = 2;
+inline constexpr word kErrInvalidAddrspace = 3;
+inline constexpr word kErrAlreadyFinal = 4;
+inline constexpr word kErrNotFinal = 5;
+inline constexpr word kErrInvalidMapping = 6;
+inline constexpr word kErrAddrInUse = 7;
+inline constexpr word kErrNotStopped = 8;
+inline constexpr word kErrInterrupted = 9;
+inline constexpr word kErrFault = 10;
+inline constexpr word kErrAlreadyEntered = 11;
+inline constexpr word kErrNotEntered = 12;
+inline constexpr word kErrPageTableMissing = 13;
+inline constexpr word kErrInvalidArgument = 14;
+inline constexpr word kErrNotFinalised = 15;
+inline constexpr word kErrInvalidSvc = 16;
+inline constexpr word kErrNotSpare = 17;
+
+// KomErr <-> ABI word conversions, used only at the SMC/SVC boundary.
+constexpr word ToWord(KomErr err) { return static_cast<word>(err); }
+constexpr KomErr ErrFromWord(word err) { return static_cast<KomErr>(err); }
+
 const char* KomErrName(word err);
+inline const char* KomErrName(KomErr err) { return KomErrName(ToWord(err)); }
 
 // --- Page types in the PageDB ----------------------------------------------------
 enum class PageType : word {

@@ -118,72 +118,29 @@ void Monitor::ChargeSmcEpilogue() {
 void Monitor::OnSmc() {
   assert(machine_.cpsr.mode == Mode::kMonitor);
   ChargeSmcPrologue();
-  const word call = ops_.GetReg(Reg::R0);
-  const word a1 = ops_.GetReg(Reg::R1);
-  const word a2 = ops_.GetReg(Reg::R2);
-  const word a3 = ops_.GetReg(Reg::R3);
-  const word a4 = ops_.GetReg(Reg::R4);
+  CallCtx ctx;
+  ctx.call = ops_.GetReg(Reg::R0);
+  ctx.args = {ops_.GetReg(Reg::R1), ops_.GetReg(Reg::R2), ops_.GetReg(Reg::R3),
+              ops_.GetReg(Reg::R4)};
 
-  CallResult res;
-  switch (call) {
-    case kSmcQuery:
-      res = SmcQuery();
-      break;
-    case kSmcGetPhysPages:
-      res = SmcGetPhysPages();
-      break;
-    case kSmcInitAddrspace:
-      res = SmcInitAddrspace(a1, a2);
-      break;
-    case kSmcInitThread:
-      res = SmcInitThread(a1, a2, a3);
-      break;
-    case kSmcInitL2Table:
-      res = SmcInitL2Table(a1, a2, a3);
-      break;
-    case kSmcMapSecure:
-      res = SmcMapSecure(a1, a2, a3, a4);
-      break;
-    case kSmcAllocSpare:
-      res = SmcAllocSpare(a1, a2);
-      break;
-    case kSmcMapInsecure:
-      res = SmcMapInsecure(a1, a2, a3);
-      break;
-    case kSmcRemove:
-      res = SmcRemove(a1);
-      break;
-    case kSmcFinalise:
-      res = SmcFinalise(a1);
-      break;
-    case kSmcEnter:
-      res = SmcEnter(a1, a2, a3, a4);
-      break;
-    case kSmcResume:
-      res = SmcResume(a1);
-      break;
-    case kSmcStop:
-      res = SmcStop(a1);
-      break;
-    default:
-      res = {kErrInvalidArgument, 0};
-      break;
-  }
+  // Per-call dispatch is table-driven (src/core/call_table.*); Dispatch also
+  // attaches the tracer when enabled.
+  const CallResult res = Dispatch(ctx);
 
   ChargeSmcEpilogue();
-  ops_.SetReg(Reg::R0, res.err);
+  ops_.SetReg(Reg::R0, ToWord(res.err));
   ops_.SetReg(Reg::R1, res.val);
   machine_.ExceptionReturn(machine_.lr_banked[static_cast<size_t>(Mode::kMonitor)]);
 }
 
 // --- Shared validation ---------------------------------------------------------
 
-std::optional<word> Monitor::CheckAddrspaceForInit(PageNr as_page) {
+std::optional<KomErr> Monitor::CheckAddrspaceForInit(PageNr as_page) {
   if (!db_.ValidPageNr(as_page) || db_.TypeOf(as_page) != PageType::kAddrspace) {
-    return kErrInvalidAddrspace;
+    return KomErr::kInvalidAddrspace;
   }
   if (db_.AsState(as_page) != AddrspaceState::kInit) {
-    return kErrAlreadyFinal;
+    return KomErr::kAlreadyFinal;
   }
   return std::nullopt;
 }
@@ -202,16 +159,16 @@ paddr Monitor::L2SlotAddr(PageNr as_page, word mapping) {
   return l2_table + ((va >> 12) & 0xff) * arm::kWordSize;
 }
 
-word Monitor::InstallL2Table(PageNr as_page, PageNr l2pt_page, word l1index) {
+KomErr Monitor::InstallL2Table(PageNr as_page, PageNr l2pt_page, word l1index) {
   if (l1index >= arm::kL1Entries / arm::kL2TablesPerPage) {
-    return kErrInvalidMapping;
+    return KomErr::kInvalidMapping;
   }
   const paddr l1pt = PagePaddr(db_.AsL1Pt(as_page));
   // All four L1 slots this page will fill must be empty.
   for (word k = 0; k < arm::kL2TablesPerPage; ++k) {
     const word desc = ops_.LoadPhys(l1pt + (l1index * arm::kL2TablesPerPage + k) * arm::kWordSize);
     if (desc != arm::kL1FaultDesc) {
-      return kErrAddrInUse;
+      return KomErr::kAddrInUse;
     }
   }
   // Zero the new table page, then install the four descriptors.
@@ -227,10 +184,10 @@ word Monitor::InstallL2Table(PageNr as_page, PageNr l2pt_page, word l1index) {
   if (machine_.ttbr0 == l1pt) {
     machine_.NoteTlbStale();
   }
-  return kErrSuccess;
+  return KomErr::kSuccess;
 }
 
-word Monitor::InstallMapping(PageNr as_page, word mapping, paddr target, bool ns) {
+KomErr Monitor::InstallMapping(PageNr as_page, word mapping, paddr target, bool ns) {
   const paddr slot = L2SlotAddr(as_page, mapping);
   assert(slot != 0);  // caller validated the table exists
   const word perms = MappingPerms(mapping);
@@ -239,7 +196,7 @@ word Monitor::InstallMapping(PageNr as_page, word mapping, paddr target, bool ns
   if (machine_.ttbr0 == PagePaddr(db_.AsL1Pt(as_page))) {
     machine_.NoteTlbStale();
   }
-  return kErrSuccess;
+  return KomErr::kSuccess;
 }
 
 bool Monitor::ReadUserWord(PageNr as_page, vaddr va, word* out) {
@@ -275,21 +232,21 @@ bool Monitor::WriteUserWord(PageNr as_page, vaddr va, word value) {
 
 // --- SMC handlers -----------------------------------------------------------------
 
-Monitor::CallResult Monitor::SmcQuery() { return {kErrSuccess, kMagic}; }
+Monitor::CallResult Monitor::SmcQuery() { return {KomErr::kSuccess, kMagic}; }
 
-Monitor::CallResult Monitor::SmcGetPhysPages() { return {kErrSuccess, db_.NPages()}; }
+Monitor::CallResult Monitor::SmcGetPhysPages() { return {KomErr::kSuccess, db_.NPages()}; }
 
 Monitor::CallResult Monitor::SmcInitAddrspace(PageNr as_page, PageNr l1pt_page) {
   if (!db_.ValidPageNr(as_page) || !db_.ValidPageNr(l1pt_page)) {
-    return {kErrInvalidPageNo, 0};
+    return {KomErr::kInvalidPageNo, 0};
   }
   // The two arguments naming the same page is exactly the bug the paper's
   // verification found in the unverified prototype (§9.1).
   if (as_page == l1pt_page) {
-    return {kErrInvalidPageNo, 0};
+    return {KomErr::kInvalidPageNo, 0};
   }
   if (!db_.IsFree(as_page) || !db_.IsFree(l1pt_page)) {
-    return {kErrPageInUse, 0};
+    return {KomErr::kPageInUse, 0};
   }
 
   // Zero the L1 table (all fault descriptors) and the address-space header.
@@ -306,7 +263,7 @@ Monitor::CallResult Monitor::SmcInitAddrspace(PageNr as_page, PageNr l1pt_page) 
   db_.SetAsState(as_page, AddrspaceState::kInit);
   db_.StoreMeasurementStream(as_page, crypto::Sha256());
   db_.SetAsMeasurement(as_page, crypto::DigestWords{});
-  return {kErrSuccess, 0};
+  return {KomErr::kSuccess, 0};
 }
 
 Monitor::CallResult Monitor::SmcInitThread(PageNr as_page, PageNr disp_page, word entrypoint) {
@@ -314,10 +271,10 @@ Monitor::CallResult Monitor::SmcInitThread(PageNr as_page, PageNr disp_page, wor
     return {*err, 0};
   }
   if (!db_.ValidPageNr(disp_page)) {
-    return {kErrInvalidPageNo, 0};
+    return {KomErr::kInvalidPageNo, 0};
   }
   if (!db_.IsFree(disp_page)) {
-    return {kErrPageInUse, 0};
+    return {KomErr::kPageInUse, 0};
   }
   db_.SetType(disp_page, PageType::kDispatcher);
   db_.SetOwner(disp_page, as_page);
@@ -330,7 +287,7 @@ Monitor::CallResult Monitor::SmcInitThread(PageNr as_page, PageNr disp_page, wor
   stream.UpdateWordLe(entrypoint);
   ops_.ChargeSha256Blocks(1);
   db_.StoreMeasurementStream(as_page, stream);
-  return {kErrSuccess, 0};
+  return {KomErr::kSuccess, 0};
 }
 
 Monitor::CallResult Monitor::SmcInitL2Table(PageNr as_page, PageNr l2pt_page, word l1index) {
@@ -338,19 +295,19 @@ Monitor::CallResult Monitor::SmcInitL2Table(PageNr as_page, PageNr l2pt_page, wo
     return {*err, 0};
   }
   if (!db_.ValidPageNr(l2pt_page)) {
-    return {kErrInvalidPageNo, 0};
+    return {KomErr::kInvalidPageNo, 0};
   }
   if (!db_.IsFree(l2pt_page)) {
-    return {kErrPageInUse, 0};
+    return {KomErr::kPageInUse, 0};
   }
-  const word err = InstallL2Table(as_page, l2pt_page, l1index);
-  if (err != kErrSuccess) {
+  const KomErr err = InstallL2Table(as_page, l2pt_page, l1index);
+  if (err != KomErr::kSuccess) {
     return {err, 0};
   }
   db_.SetType(l2pt_page, PageType::kL2PTable);
   db_.SetOwner(l2pt_page, as_page);
   db_.SetAsRefcount(as_page, db_.AsRefcount(as_page) + 1);
-  return {kErrSuccess, 0};
+  return {KomErr::kSuccess, 0};
 }
 
 Monitor::CallResult Monitor::SmcMapSecure(PageNr as_page, PageNr data_page, word mapping,
@@ -359,26 +316,26 @@ Monitor::CallResult Monitor::SmcMapSecure(PageNr as_page, PageNr data_page, word
     return {*err, 0};
   }
   if (!db_.ValidPageNr(data_page)) {
-    return {kErrInvalidPageNo, 0};
+    return {KomErr::kInvalidPageNo, 0};
   }
   if (!db_.IsFree(data_page)) {
-    return {kErrPageInUse, 0};
+    return {KomErr::kPageInUse, 0};
   }
   if (!MappingValid(mapping)) {
-    return {kErrInvalidMapping, 0};
+    return {KomErr::kInvalidMapping, 0};
   }
   // The source of the initial contents must be genuinely insecure memory —
   // not the monitor image nor a secure page (§9.1's second bug class).
   const paddr src = insecure_pgnr * arm::kPageSize;
   if (!arm::IsInsecurePageAddr(machine_.mem, src)) {
-    return {kErrInvalidArgument, 0};
+    return {KomErr::kInvalidArgument, 0};
   }
   const paddr slot = L2SlotAddr(as_page, mapping);
   if (slot == 0) {
-    return {kErrPageTableMissing, 0};
+    return {KomErr::kPageTableMissing, 0};
   }
   if (ops_.LoadPhys(slot) != arm::kL2FaultDesc) {
-    return {kErrAddrInUse, 0};
+    return {KomErr::kAddrInUse, 0};
   }
 
   // Copy the initial contents into the secure page.
@@ -401,26 +358,26 @@ Monitor::CallResult Monitor::SmcMapSecure(PageNr as_page, PageNr data_page, word
   stream.Update(page_bytes, sizeof(page_bytes));
   ops_.ChargeSha256Blocks(arm::kPageSize / crypto::kSha256BlockBytes + 1);
   db_.StoreMeasurementStream(as_page, stream);
-  return {kErrSuccess, 0};
+  return {KomErr::kSuccess, 0};
 }
 
 Monitor::CallResult Monitor::SmcAllocSpare(PageNr as_page, PageNr spare_page) {
   if (!db_.ValidPageNr(as_page) || db_.TypeOf(as_page) != PageType::kAddrspace) {
-    return {kErrInvalidAddrspace, 0};
+    return {KomErr::kInvalidAddrspace, 0};
   }
   if (db_.AsState(as_page) == AddrspaceState::kStopped) {
-    return {kErrInvalidAddrspace, 0};
+    return {KomErr::kInvalidAddrspace, 0};
   }
   if (!db_.ValidPageNr(spare_page)) {
-    return {kErrInvalidPageNo, 0};
+    return {KomErr::kInvalidPageNo, 0};
   }
   if (!db_.IsFree(spare_page)) {
-    return {kErrPageInUse, 0};
+    return {KomErr::kPageInUse, 0};
   }
   db_.SetType(spare_page, PageType::kSparePage);
   db_.SetOwner(spare_page, as_page);
   db_.SetAsRefcount(as_page, db_.AsRefcount(as_page) + 1);
-  return {kErrSuccess, 0};
+  return {KomErr::kSuccess, 0};
 }
 
 Monitor::CallResult Monitor::SmcMapInsecure(PageNr as_page, word mapping, word insecure_pgnr) {
@@ -428,46 +385,46 @@ Monitor::CallResult Monitor::SmcMapInsecure(PageNr as_page, word mapping, word i
     return {*err, 0};
   }
   if (!MappingValid(mapping)) {
-    return {kErrInvalidMapping, 0};
+    return {KomErr::kInvalidMapping, 0};
   }
   const paddr target = insecure_pgnr * arm::kPageSize;
   if (!arm::IsInsecurePageAddr(machine_.mem, target)) {
-    return {kErrInvalidArgument, 0};
+    return {KomErr::kInvalidArgument, 0};
   }
   // Insecure pages must never be executable inside an enclave: the OS could
   // change their contents after measurement.
   if ((MappingPerms(mapping) & kMapX) != 0) {
-    return {kErrInvalidMapping, 0};
+    return {KomErr::kInvalidMapping, 0};
   }
   const paddr slot = L2SlotAddr(as_page, mapping);
   if (slot == 0) {
-    return {kErrPageTableMissing, 0};
+    return {KomErr::kPageTableMissing, 0};
   }
   if (ops_.LoadPhys(slot) != arm::kL2FaultDesc) {
-    return {kErrAddrInUse, 0};
+    return {KomErr::kAddrInUse, 0};
   }
   InstallMapping(as_page, mapping, target, /*ns=*/true);
-  return {kErrSuccess, 0};
+  return {KomErr::kSuccess, 0};
 }
 
 Monitor::CallResult Monitor::SmcRemove(PageNr page) {
   if (!db_.ValidPageNr(page)) {
-    return {kErrInvalidPageNo, 0};
+    return {KomErr::kInvalidPageNo, 0};
   }
   const PageType type = db_.TypeOf(page);
   if (type == PageType::kFree) {
-    return {kErrSuccess, 0};
+    return {KomErr::kSuccess, 0};
   }
   if (type == PageType::kAddrspace) {
     if (db_.AsRefcount(page) != 0) {
-      return {kErrPageInUse, 0};
+      return {KomErr::kPageInUse, 0};
     }
   } else {
     const PageNr owner = db_.OwnerOf(page);
     // Spare pages may be reclaimed from a live enclave (§4, Dynamic
     // allocation); anything else requires the enclave to be stopped.
     if (type != PageType::kSparePage && db_.AsState(owner) != AddrspaceState::kStopped) {
-      return {kErrNotStopped, 0};
+      return {KomErr::kNotStopped, 0};
     }
     db_.SetAsRefcount(owner, db_.AsRefcount(owner) - 1);
   }
@@ -478,7 +435,7 @@ Monitor::CallResult Monitor::SmcRemove(PageNr page) {
   }
   db_.SetType(page, PageType::kFree);
   db_.SetOwner(page, kInvalidPage);
-  return {kErrSuccess, 0};
+  return {KomErr::kSuccess, 0};
 }
 
 Monitor::CallResult Monitor::SmcFinalise(PageNr as_page) {
@@ -490,15 +447,15 @@ Monitor::CallResult Monitor::SmcFinalise(PageNr as_page) {
   const crypto::Digest digest = stream.Finalize();
   db_.SetAsMeasurement(as_page, crypto::DigestToWords(digest));
   db_.SetAsState(as_page, AddrspaceState::kFinal);
-  return {kErrSuccess, 0};
+  return {KomErr::kSuccess, 0};
 }
 
 Monitor::CallResult Monitor::SmcStop(PageNr as_page) {
   if (!db_.ValidPageNr(as_page) || db_.TypeOf(as_page) != PageType::kAddrspace) {
-    return {kErrInvalidAddrspace, 0};
+    return {KomErr::kInvalidAddrspace, 0};
   }
   db_.SetAsState(as_page, AddrspaceState::kStopped);
-  return {kErrSuccess, 0};
+  return {KomErr::kSuccess, 0};
 }
 
 }  // namespace komodo

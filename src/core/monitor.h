@@ -12,6 +12,7 @@
 #ifndef SRC_CORE_MONITOR_H_
 #define SRC_CORE_MONITOR_H_
 
+#include <array>
 #include <functional>
 #include <optional>
 
@@ -21,6 +22,7 @@
 #include "src/core/monitor_ops.h"
 #include "src/core/pagedb.h"
 #include "src/crypto/drbg.h"
+#include "src/obs/trace.h"
 
 namespace komodo {
 
@@ -66,12 +68,54 @@ class Monitor {
 
   arm::MachineState& machine() { return machine_; }
   const Config& config() const { return config_; }
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
 
- private:
+  // --- Registry-driven dispatch (src/core/call_table.*) -----------------------
+  // One SMC as staged by OnSmc: call number from r0, arguments from r1-r4.
+  struct CallCtx {
+    word call = 0;
+    std::array<word, 4> args{};
+  };
+  // Typed handler result; converted to the ABI encoding (r0 = ToWord(err),
+  // r1 = val) only in the OnSmc epilogue.
   struct CallResult {
-    word err = kErrSuccess;
+    KomErr err = KomErr::kSuccess;
     word val = 0;
   };
+  // Uniform entry point for every Table 1 SMC: routes through the call
+  // registry (call_table.cc) and attaches observability around the handler.
+  // Public so tests and harnesses can drive individual calls without staging
+  // machine registers, though the architectural path is OnSmc.
+  CallResult Dispatch(const CallCtx& ctx);
+
+  // One SVC from enclave code: call number from r0, arguments from r1-r3,
+  // plus the current dispatcher/address-space context.
+  struct SvcCtx {
+    word call = 0;
+    std::array<word, 3> args{};
+    PageNr disp_page = kInvalidPage;
+    PageNr as_page = kInvalidPage;
+  };
+  // Return err/val written to the enclave's r0/r1; `exit_retval` is set when
+  // the SVC ends enclave execution.
+  struct SvcResult {
+    KomErr err = KomErr::kSuccess;
+    word val = 0;
+    bool exits = false;
+    word exit_retval = 0;
+  };
+  SvcResult DispatchSvc(const SvcCtx& ctx);
+
+ private:
+
+  // Registry-generated dispatch bodies (call_table.cc expands
+  // call_list.inc); Dispatch/DispatchSvc wrap these with tracing.
+  CallResult DispatchImpl(const CallCtx& ctx);
+  SvcResult DispatchSvcImpl(const SvcCtx& ctx);
+  // Snapshot of the machine's cycle/step/cache counters for the tracer.
+  // Reads state directly (never through ops_), so it charges nothing.
+  obs::MachineSnap ObsSnap() const;
 
   // --- SMC handlers (Table 1, top half) ---------------------------------------
   CallResult SmcQuery();
@@ -89,15 +133,9 @@ class Monitor {
   CallResult SmcStop(PageNr as_page);
 
   // --- SVC handlers (Table 1, bottom half) --------------------------------------
-  // Return err/val written to the enclave's r0/r1; `exit_retval` is set when
-  // the SVC ends enclave execution.
-  struct SvcResult {
-    word err = kErrSuccess;
-    word val = 0;
-    bool exits = false;
-    word exit_retval = 0;
-  };
+  // Stages the SvcCtx from the live user registers and dispatches it.
   SvcResult HandleSvc(PageNr disp_page, PageNr as_page);
+  SvcResult SvcExit(word retval);
   SvcResult SvcGetRandom();
   SvcResult SvcAttest(PageNr as_page, vaddr data_va, vaddr mac_out_va);
   SvcResult SvcVerify(PageNr as_page, vaddr data_va, vaddr measure_va, vaddr mac_va);
@@ -117,16 +155,16 @@ class Monitor {
   void RestoreEnclaveContext(PageNr disp_page, word* resume_pc, arm::Psr* user_psr);
   // Common exit path from enclave execution back to monitor mode with the OS
   // state restored; the OnSmc epilogue then returns to normal world.
-  CallResult TeardownToOs(word err, word val);
+  CallResult TeardownToOs(KomErr err, word val);
 
   // --- Shared validation ------------------------------------------------------------
   // Checks that `as_page` is a valid address-space page in state kInit.
-  std::optional<word> CheckAddrspaceForInit(PageNr as_page);
+  std::optional<KomErr> CheckAddrspaceForInit(PageNr as_page);
   // Common L2-table installation used by both the SMC and SVC variants.
-  word InstallL2Table(PageNr as_page, PageNr l2pt_page, word l1index);
+  KomErr InstallL2Table(PageNr as_page, PageNr l2pt_page, word l1index);
   // Common data-page mapping used by MapSecure and MapData. Writes the L2
   // descriptor; the caller has validated everything else.
-  word InstallMapping(PageNr as_page, word mapping, paddr target, bool ns);
+  KomErr InstallMapping(PageNr as_page, word mapping, paddr target, bool ns);
   // Resolves the L2 descriptor slot for `mapping` in `as_page`'s table;
   // returns 0 on missing L2 table.
   paddr L2SlotAddr(PageNr as_page, word mapping);
@@ -150,6 +188,9 @@ class Monitor {
   PageDb db_;
   crypto::HashDrbg entropy_;
   UserRunner user_runner_;
+  // Per-monitor tracer/counters (DESIGN.md §9); env-activated, never charges
+  // simulated cycles. Per-instance so concurrent Worlds trace independently.
+  obs::Observability obs_;
 
   // OS return state while an enclave executes (the paper keeps this on the
   // monitor stack; we keep it in a frame in monitor RAM — see kFrameOffset).

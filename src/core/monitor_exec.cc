@@ -33,6 +33,27 @@ word ExceptionBit(Exception e) { return 1u << static_cast<word>(e); }
 
 // The declassified exception-type code reported to the OS on a faulting
 // enclave (§6.2: the OS learns only the kind of exception).
+// Static event names for the tracer (obs holds the pointer, never copies).
+const char* ExcName(Exception e) {
+  switch (e) {
+    case Exception::kSvc:
+      return "svc";
+    case Exception::kIrq:
+      return "irq";
+    case Exception::kFiq:
+      return "fiq";
+    case Exception::kPrefetchAbort:
+      return "prefetch_abort";
+    case Exception::kDataAbort:
+      return "data_abort";
+    case Exception::kUndefined:
+      return "undefined";
+    case Exception::kSmc:
+      return "smc";
+  }
+  return "unknown";
+}
+
 word FaultCode(Exception e) {
   switch (e) {
     case Exception::kPrefetchAbort:
@@ -118,7 +139,12 @@ arm::Exception Monitor::RunUser() {
   return *exc;
 }
 
-Monitor::CallResult Monitor::TeardownToOs(word err, word val) {
+Monitor::CallResult Monitor::TeardownToOs(KomErr err, word val) {
+  if (obs_.enabled()) {
+    // No PageDb reads here: obs must never charge simulated cycles, and every
+    // ops_ accessor does.
+    obs_.Instant(obs::EventKind::kEnclaveExit, 0, "EnclaveExit", ObsSnap(), ToWord(err));
+  }
   ops_.ChargeAlu();  // cps #monitor
   machine_.cpsr.mode = Mode::kMonitor;
   machine_.cpsr.irq_masked = true;
@@ -134,14 +160,14 @@ Monitor::CallResult Monitor::TeardownToOs(word err, word val) {
 
 Monitor::CallResult Monitor::SmcEnter(PageNr disp_page, word arg1, word arg2, word arg3) {
   if (!db_.ValidPageNr(disp_page) || db_.TypeOf(disp_page) != PageType::kDispatcher) {
-    return {kErrInvalidPageNo, 0};
+    return {KomErr::kInvalidPageNo, 0};
   }
   const PageNr as_page = db_.OwnerOf(disp_page);
   if (db_.AsState(as_page) != AddrspaceState::kFinal) {
-    return {kErrNotFinal, 0};
+    return {KomErr::kNotFinal, 0};
   }
   if (db_.DispEntered(disp_page)) {
-    return {kErrAlreadyEntered, 0};
+    return {KomErr::kAlreadyEntered, 0};
   }
 
   // Save the OS return state and banked registers (conservatively, §8.1).
@@ -160,6 +186,9 @@ Monitor::CallResult Monitor::SmcEnter(PageNr disp_page, word arg1, word arg2, wo
   } else {
     machine_.WriteTtbr0(l1pt);
     machine_.FlushTlb();
+    if (obs_.enabled()) {
+      obs_.Instant(obs::EventKind::kTlbFlush, 0, "TlbFlush", ObsSnap());
+    }
   }
 
   // Stage the architectural entry state (§5.2): parameters in r0-r2, every
@@ -182,20 +211,23 @@ Monitor::CallResult Monitor::SmcEnter(PageNr disp_page, word arg1, word arg2, wo
 
   const word entry = db_.DispEntrypoint(disp_page);
   db_.SetCurDispatcher(disp_page);
+  if (obs_.enabled()) {
+    obs_.Instant(obs::EventKind::kEnclaveEnter, disp_page, "EnclaveEnter", ObsSnap());
+  }
   machine_.ExceptionReturn(entry);  // MOVS PC, LR into user mode
   return EnclaveExecutionLoop(disp_page, as_page);
 }
 
 Monitor::CallResult Monitor::SmcResume(PageNr disp_page) {
   if (!db_.ValidPageNr(disp_page) || db_.TypeOf(disp_page) != PageType::kDispatcher) {
-    return {kErrInvalidPageNo, 0};
+    return {KomErr::kInvalidPageNo, 0};
   }
   const PageNr as_page = db_.OwnerOf(disp_page);
   if (db_.AsState(as_page) != AddrspaceState::kFinal) {
-    return {kErrNotFinal, 0};
+    return {KomErr::kNotFinal, 0};
   }
   if (!db_.DispEntered(disp_page)) {
-    return {kErrNotEntered, 0};
+    return {KomErr::kNotEntered, 0};
   }
 
   ops_.StorePhys(FrameAddr(kFrameOsLr), machine_.lr_banked[static_cast<size_t>(Mode::kMonitor)]);
@@ -212,6 +244,9 @@ Monitor::CallResult Monitor::SmcResume(PageNr disp_page) {
   } else {
     machine_.WriteTtbr0(l1pt);
     machine_.FlushTlb();
+    if (obs_.enabled()) {
+      obs_.Instant(obs::EventKind::kTlbFlush, 0, "TlbFlush", ObsSnap());
+    }
   }
 
   word resume_pc = 0;
@@ -222,6 +257,9 @@ Monitor::CallResult Monitor::SmcResume(PageNr disp_page) {
   ops_.ChargeAlu(2);
 
   db_.SetCurDispatcher(disp_page);
+  if (obs_.enabled()) {
+    obs_.Instant(obs::EventKind::kEnclaveResume, disp_page, "EnclaveResume", ObsSnap());
+  }
   machine_.ExceptionReturn(resume_pc);
   return EnclaveExecutionLoop(disp_page, as_page);
 }
@@ -230,6 +268,9 @@ Monitor::CallResult Monitor::EnclaveExecutionLoop(PageNr disp_page, PageNr as_pa
   for (;;) {
     const Exception exc = RunUser();
     exceptions_seen_ |= ExceptionBit(exc);
+    if (obs_.enabled() && exc != Exception::kSvc) {
+      obs_.Instant(obs::EventKind::kException, static_cast<word>(exc), ExcName(exc), ObsSnap());
+    }
     switch (exc) {
       case Exception::kSvc: {
         // The machine is now in (secure) supervisor mode; user registers are
@@ -237,12 +278,15 @@ Monitor::CallResult Monitor::EnclaveExecutionLoop(PageNr disp_page, PageNr as_pa
         const SvcResult res = HandleSvc(disp_page, as_page);
         if (res.exits) {
           // Exit does not save context: the thread stays re-enterable (§4).
-          return TeardownToOs(kErrSuccess, res.exit_retval);
+          return TeardownToOs(KomErr::kSuccess, res.exit_retval);
         }
-        ops_.SetReg(Reg::R0, res.err);
+        ops_.SetReg(Reg::R0, ToWord(res.err));
         ops_.SetReg(Reg::R1, res.val);
         if (!machine_.tlb_consistent) {
           machine_.FlushTlb();  // an SVC may have edited the live page table
+          if (obs_.enabled()) {
+            obs_.Instant(obs::EventKind::kTlbFlush, 0, "TlbFlush", ObsSnap());
+          }
         }
         machine_.ExceptionReturn(machine_.lr_banked[static_cast<size_t>(Mode::kSupervisor)]);
         continue;
@@ -255,18 +299,18 @@ Monitor::CallResult Monitor::EnclaveExecutionLoop(PageNr disp_page, PageNr as_pa
         const Psr user_psr = machine_.spsr_banked[static_cast<size_t>(m)];
         SaveEnclaveContext(disp_page, resume_pc, user_psr);
         db_.SetDispEntered(disp_page, true);
-        return TeardownToOs(kErrInterrupted, 0);
+        return TeardownToOs(KomErr::kInterrupted, 0);
       }
       case Exception::kPrefetchAbort:
       case Exception::kDataAbort:
       case Exception::kUndefined:
         // The thread exits with an error code but no further information
         // (§4): the OS cannot observe the faulting address or context.
-        return TeardownToOs(kErrFault, FaultCode(exc));
+        return TeardownToOs(KomErr::kFault, FaultCode(exc));
       case Exception::kSmc:
         // Unreachable: SMC from user mode is an undefined instruction.
         assert(false && "SMC exception during enclave execution");
-        return TeardownToOs(kErrFault, 0);
+        return TeardownToOs(KomErr::kFault, 0);
     }
   }
 }
@@ -302,47 +346,36 @@ void Monitor::RestoreEnclaveContext(PageNr disp_page, word* resume_pc, Psr* user
 // --- SVC handlers -------------------------------------------------------------------
 
 Monitor::SvcResult Monitor::HandleSvc(PageNr disp_page, PageNr as_page) {
-  (void)disp_page;
   ops_.ChargeAlu(8);  // dispatch chain
-  const word call = ops_.GetReg(Reg::R0);
-  const word a1 = ops_.GetReg(Reg::R1);
-  const word a2 = ops_.GetReg(Reg::R2);
-  const word a3 = ops_.GetReg(Reg::R3);
-  switch (call) {
-    case kSvcExit: {
-      SvcResult res;
-      res.exits = true;
-      res.exit_retval = a1;
-      return res;
-    }
-    case kSvcGetRandom:
-      return SvcGetRandom();
-    case kSvcAttest:
-      return SvcAttest(as_page, a1, a2);
-    case kSvcVerify:
-      return SvcVerify(as_page, a1, a2, a3);
-    case kSvcInitL2Table:
-      return SvcInitL2Table(as_page, a1, a2);
-    case kSvcMapData:
-      return SvcMapData(as_page, a1, a2);
-    case kSvcUnmapData:
-      return SvcUnmapData(as_page, a1, a2);
-    default:
-      return {kErrInvalidSvc, 0, false, 0};
-  }
+  SvcCtx ctx;
+  ctx.call = ops_.GetReg(Reg::R0);
+  ctx.args = {ops_.GetReg(Reg::R1), ops_.GetReg(Reg::R2), ops_.GetReg(Reg::R3)};
+  ctx.disp_page = disp_page;
+  ctx.as_page = as_page;
+  // Per-call dispatch is table-driven (src/core/call_table.*); DispatchSvc
+  // also attaches the tracer when enabled.
+  return DispatchSvc(ctx);
+}
+
+Monitor::SvcResult Monitor::SvcExit(word retval) {
+  // Exit carries no error path: the retval is handed to the OS verbatim.
+  SvcResult res;
+  res.exits = true;
+  res.exit_retval = retval;
+  return res;
 }
 
 Monitor::SvcResult Monitor::SvcGetRandom() {
   // Models the latency of a read from the SoC's hardware RNG FIFO.
   machine_.cycles.Charge(200);
-  return {kErrSuccess, entropy_.NextWord(), false, 0};
+  return {KomErr::kSuccess, entropy_.NextWord(), false, 0};
 }
 
 Monitor::SvcResult Monitor::SvcAttest(PageNr as_page, vaddr data_va, vaddr mac_out_va) {
   word data[8];
   for (word i = 0; i < 8; ++i) {
     if (!ReadUserWord(as_page, data_va + i * arm::kWordSize, &data[i])) {
-      return {kErrInvalidArgument, 0, false, 0};
+      return {KomErr::kInvalidArgument, 0, false, 0};
     }
   }
   const crypto::DigestWords measurement = db_.AsMeasurement(as_page);
@@ -358,10 +391,10 @@ Monitor::SvcResult Monitor::SvcAttest(PageNr as_page, vaddr data_va, vaddr mac_o
   const crypto::DigestWords out = crypto::DigestToWords(mac.Finalize());
   for (word i = 0; i < 8; ++i) {
     if (!WriteUserWord(as_page, mac_out_va + i * arm::kWordSize, out[i])) {
-      return {kErrInvalidArgument, 0, false, 0};
+      return {KomErr::kInvalidArgument, 0, false, 0};
     }
   }
-  return {kErrSuccess, 0, false, 0};
+  return {KomErr::kSuccess, 0, false, 0};
 }
 
 Monitor::SvcResult Monitor::SvcVerify(PageNr as_page, vaddr data_va, vaddr measure_va,
@@ -373,7 +406,7 @@ Monitor::SvcResult Monitor::SvcVerify(PageNr as_page, vaddr data_va, vaddr measu
     if (!ReadUserWord(as_page, data_va + i * arm::kWordSize, &data[i]) ||
         !ReadUserWord(as_page, measure_va + i * arm::kWordSize, &measure[i]) ||
         !ReadUserWord(as_page, mac_va + i * arm::kWordSize, &mac_in[i])) {
-      return {kErrInvalidArgument, 0, false, 0};
+      return {KomErr::kInvalidArgument, 0, false, 0};
     }
   }
   crypto::HmacSha256Stream mac(db_.AttestKey());
@@ -392,36 +425,36 @@ Monitor::SvcResult Monitor::SvcVerify(PageNr as_page, vaddr data_va, vaddr measu
     acc |= expected[i] ^ mac_in[i];
     ops_.ChargeAlu(2);
   }
-  return {kErrSuccess, acc == 0 ? 1u : 0u, false, 0};
+  return {KomErr::kSuccess, acc == 0 ? 1u : 0u, false, 0};
 }
 
 Monitor::SvcResult Monitor::SvcInitL2Table(PageNr as_page, PageNr spare_page, word l1index) {
   if (!db_.ValidPageNr(spare_page) || db_.TypeOf(spare_page) != PageType::kSparePage ||
       db_.OwnerOf(spare_page) != as_page) {
-    return {kErrNotSpare, 0, false, 0};
+    return {KomErr::kNotSpare, 0, false, 0};
   }
-  const word err = InstallL2Table(as_page, spare_page, l1index);
-  if (err != kErrSuccess) {
+  const KomErr err = InstallL2Table(as_page, spare_page, l1index);
+  if (err != KomErr::kSuccess) {
     return {err, 0, false, 0};
   }
   db_.SetType(spare_page, PageType::kL2PTable);
-  return {kErrSuccess, 0, false, 0};
+  return {KomErr::kSuccess, 0, false, 0};
 }
 
 Monitor::SvcResult Monitor::SvcMapData(PageNr as_page, PageNr spare_page, word mapping) {
   if (!db_.ValidPageNr(spare_page) || db_.TypeOf(spare_page) != PageType::kSparePage ||
       db_.OwnerOf(spare_page) != as_page) {
-    return {kErrNotSpare, 0, false, 0};
+    return {KomErr::kNotSpare, 0, false, 0};
   }
   if (!MappingValid(mapping)) {
-    return {kErrInvalidMapping, 0, false, 0};
+    return {KomErr::kInvalidMapping, 0, false, 0};
   }
   const paddr slot = L2SlotAddr(as_page, mapping);
   if (slot == 0) {
-    return {kErrPageTableMissing, 0, false, 0};
+    return {KomErr::kPageTableMissing, 0, false, 0};
   }
   if (ops_.LoadPhys(slot) != arm::kL2FaultDesc) {
-    return {kErrAddrInUse, 0, false, 0};
+    return {KomErr::kAddrInUse, 0, false, 0};
   }
   // Dynamic data pages are zero-filled (§4): their contents are not part of
   // the measurement, so they must not carry stale state.
@@ -431,29 +464,29 @@ Monitor::SvcResult Monitor::SvcMapData(PageNr as_page, PageNr spare_page, word m
   }
   InstallMapping(as_page, mapping, PagePaddr(spare_page), /*ns=*/false);
   db_.SetType(spare_page, PageType::kDataPage);
-  return {kErrSuccess, 0, false, 0};
+  return {KomErr::kSuccess, 0, false, 0};
 }
 
 Monitor::SvcResult Monitor::SvcUnmapData(PageNr as_page, PageNr data_page, word mapping) {
   if (!db_.ValidPageNr(data_page) || db_.TypeOf(data_page) != PageType::kDataPage ||
       db_.OwnerOf(data_page) != as_page) {
-    return {kErrInvalidPageNo, 0, false, 0};
+    return {KomErr::kInvalidPageNo, 0, false, 0};
   }
   if (!MappingValid(mapping)) {
-    return {kErrInvalidMapping, 0, false, 0};
+    return {KomErr::kInvalidMapping, 0, false, 0};
   }
   const paddr slot = L2SlotAddr(as_page, mapping);
   if (slot == 0) {
-    return {kErrPageTableMissing, 0, false, 0};
+    return {KomErr::kPageTableMissing, 0, false, 0};
   }
   const word desc = ops_.LoadPhys(slot);
   if (!arm::IsL2SmallPageDesc(desc) || arm::L2DescPageBase(desc) != PagePaddr(data_page)) {
-    return {kErrInvalidMapping, 0, false, 0};
+    return {KomErr::kInvalidMapping, 0, false, 0};
   }
   ops_.StorePhys(slot, arm::kL2FaultDesc);
   machine_.NoteTlbStale();
   db_.SetType(data_page, PageType::kSparePage);
-  return {kErrSuccess, 0, false, 0};
+  return {KomErr::kSuccess, 0, false, 0};
 }
 
 }  // namespace komodo

@@ -49,7 +49,58 @@ void InstallL2(PageDb& d, PageNr as_page, PageNr l2pt_page, word l1index) {
   d[l1pt].As<L1PTablePage>().l2_tables[l1index] = l2pt_page;
 }
 
+// Shared Enter/Resume guard; `resuming` selects which entered-state is the
+// error (same checks, same order as the implementation).
+std::optional<word> CheckDispatcherForEntry(const PageDb& d, PageNr disp_page, bool resuming) {
+  if (!d.ValidPageNr(disp_page) || d[disp_page].type() != PageType::kDispatcher) {
+    return kErrInvalidPageNo;
+  }
+  if (d[d[disp_page].owner].As<AddrspacePage>().state != AddrspaceState::kFinal) {
+    return kErrNotFinal;
+  }
+  const bool entered = d[disp_page].As<DispatcherPage>().entered;
+  if (!resuming && entered) {
+    return kErrAlreadyEntered;
+  }
+  if (resuming && !entered) {
+    return kErrNotEntered;
+  }
+  return std::nullopt;
+}
+
 }  // namespace
+
+Result SpecQuery(PageDb d) { return {kErrSuccess, std::move(d)}; }
+
+Result SpecGetPhysPages(PageDb d) { return {kErrSuccess, std::move(d)}; }
+
+Result SpecEnter(PageDb d, PageNr disp_page) {
+  if (const auto err = CheckDispatcherForEntry(d, disp_page, /*resuming=*/false)) {
+    return {*err, std::move(d)};
+  }
+  return {kErrSuccess, std::move(d)};
+}
+
+Result SpecResume(PageDb d, PageNr disp_page) {
+  if (const auto err = CheckDispatcherForEntry(d, disp_page, /*resuming=*/true)) {
+    return {*err, std::move(d)};
+  }
+  return {kErrSuccess, std::move(d)};
+}
+
+Result SpecSvcExit(PageDb d) { return {kErrSuccess, std::move(d)}; }
+
+Result SpecSvcGetRandom(PageDb d) { return {kErrSuccess, std::move(d)}; }
+
+Result SpecSvcAttest(PageDb d, PageNr as_page) {
+  (void)as_page;
+  return {kErrSuccess, std::move(d)};
+}
+
+Result SpecSvcVerify(PageDb d, PageNr as_page) {
+  (void)as_page;
+  return {kErrSuccess, std::move(d)};
+}
 
 Result SpecInitAddrspace(PageDb d, PageNr as_page, PageNr l1pt_page) {
   if (!d.ValidPageNr(as_page) || !d.ValidPageNr(l1pt_page)) {

@@ -21,6 +21,9 @@ struct Result {
 };
 
 // --- SMCs ------------------------------------------------------------------------
+// Query/GetPhysPages are pure reads: the spec is the identity on the PageDb.
+Result SpecQuery(PageDb d);
+Result SpecGetPhysPages(PageDb d);
 Result SpecInitAddrspace(PageDb d, PageNr as_page, PageNr l1pt_page);
 Result SpecInitThread(PageDb d, PageNr as_page, PageNr disp_page, word entrypoint);
 Result SpecInitL2Table(PageDb d, PageNr as_page, PageNr l2pt_page, word l1index);
@@ -35,6 +38,21 @@ Result SpecMapInsecure(PageDb d, PageNr as_page, word mapping, bool insecure_ok,
 Result SpecRemove(PageDb d, PageNr page);
 Result SpecFinalise(PageDb d, PageNr as_page);
 Result SpecStop(PageDb d, PageNr as_page);
+// Enter/Resume guards: these specify the validation order and error codes
+// only. On success, user-mode execution havocs machine state (§5.1) — the
+// entered-flag and saved-context updates belong to that havoc, so the
+// success relation here is the identity on the pre-state PageDb.
+Result SpecEnter(PageDb d, PageNr disp_page);
+Result SpecResume(PageDb d, PageNr disp_page);
+
+// --- Execution/crypto SVCs (guard-only specs) ---------------------------------------
+// Exit and GetRandom never touch the PageDb; Attest/Verify read the
+// measurement and attestation key but mutate nothing (their user-memory
+// argument faults are part of the execution havoc, not the PageDb relation).
+Result SpecSvcExit(PageDb d);
+Result SpecSvcGetRandom(PageDb d);
+Result SpecSvcAttest(PageDb d, PageNr as_page);
+Result SpecSvcVerify(PageDb d, PageNr as_page);
 
 // --- Dynamic-memory SVCs (issued by the enclave owning `as_page`) -------------------
 Result SpecSvcInitL2Table(PageDb d, PageNr as_page, PageNr spare_page, word l1index);

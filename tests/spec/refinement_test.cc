@@ -10,6 +10,7 @@
 #include "src/spec/extract.h"
 #include "src/spec/invariants.h"
 #include "src/spec/spec_calls.h"
+#include "src/spec/spec_dispatch.h"
 
 namespace komodo {
 namespace {
@@ -19,43 +20,13 @@ using os::Adversary;
 using os::SmcRet;
 using os::World;
 
-// Applies the spec function corresponding to an adversary action. Enter and
-// Resume are not generated by the adversary (they involve execution and are
-// covered by dedicated post-condition tests below).
+// Applies the spec function corresponding to an adversary action, through
+// the same call registry the implementation dispatches from
+// (src/core/call_list.inc): the refinement suite exercises the production
+// spec dispatch rather than a hand-maintained parallel table.
 spec::Result ApplySpec(const spec::PageDb& d, const AdvAction& a, const arm::MachineState& m) {
-  switch (a.call) {
-    case kSmcGetPhysPages:
-      return {kErrSuccess, d};
-    case kSmcInitAddrspace:
-      return spec::SpecInitAddrspace(d, a.args[0], a.args[1]);
-    case kSmcInitThread:
-      return spec::SpecInitThread(d, a.args[0], a.args[1], a.args[2]);
-    case kSmcInitL2Table:
-      return spec::SpecInitL2Table(d, a.args[0], a.args[1], a.args[2]);
-    case kSmcMapSecure: {
-      const bool ok = arm::IsInsecurePageAddr(m.mem, a.args[3] * arm::kPageSize);
-      std::array<word, arm::kWordsPerPage> contents{};
-      if (ok) {
-        contents = spec::ReadInsecurePage(m, a.args[3]);
-      }
-      return spec::SpecMapSecure(d, a.args[0], a.args[1], a.args[2], ok, contents);
-    }
-    case kSmcAllocSpare:
-      return spec::SpecAllocSpare(d, a.args[0], a.args[1]);
-    case kSmcMapInsecure: {
-      const bool ok = arm::IsInsecurePageAddr(m.mem, a.args[2] * arm::kPageSize);
-      return spec::SpecMapInsecure(d, a.args[0], a.args[1], ok, a.args[2]);
-    }
-    case kSmcRemove:
-      return spec::SpecRemove(d, a.args[0]);
-    case kSmcFinalise:
-      return spec::SpecFinalise(d, a.args[0]);
-    case kSmcStop:
-      return spec::SpecStop(d, a.args[0]);
-    default:
-      ADD_FAILURE() << "unexpected call " << a.call;
-      return {kErrInvalidArgument, d};
-  }
+  EXPECT_TRUE(spec::HasSmcSpec(a.call)) << "unexpected call " << a.call;
+  return spec::ApplySmc(d, m, a.call, {a.args[0], a.args[1], a.args[2], a.args[3]});
 }
 
 TEST(RefinementTest, DirectedLifecycleMatchesSpec) {

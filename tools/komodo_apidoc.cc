@@ -1,0 +1,169 @@
+// komodo-apidoc: generates the Table 1 API reference in DESIGN.md from the
+// call registry (src/core/call_list.inc). The registry is the single source
+// of truth for call numbers, arities and error sets; this tool keeps the
+// prose in sync and `--check` (run under ctest) fails the build when the
+// committed docs drift from the table.
+//
+//   komodo-apidoc --print            write the generated section to stdout
+//   komodo-apidoc --check [file]     exit 1 if the file's generated block differs
+//   komodo-apidoc --update [file]    rewrite the generated block in place
+//
+// The block is delimited by literal markers so the rest of the document is
+// never touched:
+//   <!-- BEGIN GENERATED: komodo-apidoc table1 -->
+//   <!-- END GENERATED: komodo-apidoc table1 -->
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/call_table.h"
+
+namespace {
+
+using komodo::CallInfo;
+
+constexpr char kBeginMarker[] = "<!-- BEGIN GENERATED: komodo-apidoc table1 -->";
+constexpr char kEndMarker[] = "<!-- END GENERATED: komodo-apidoc table1 -->";
+
+#ifndef KOMODO_SOURCE_DIR
+#define KOMODO_SOURCE_DIR "."
+#endif
+
+std::string FormatErrors(const char* errors) {
+  if (std::strcmp(errors, "-") == 0) {
+    return "cannot fail";
+  }
+  std::string out;
+  std::string cur;
+  for (const char* p = errors;; ++p) {
+    if (*p == '|' || *p == '\0') {
+      if (!out.empty()) {
+        out += ", ";
+      }
+      out += "`" + cur + "`";
+      cur.clear();
+      if (*p == '\0') {
+        break;
+      }
+    } else {
+      cur += *p;
+    }
+  }
+  return out;
+}
+
+std::string FormatArgs(const CallInfo& c) {
+  if (c.arity == 0) {
+    return "—";
+  }
+  std::string out = "`";
+  out += c.arg_names;
+  out += "`";
+  return out;
+}
+
+std::string GeneratedSection() {
+  std::ostringstream out;
+  out << "Generated from `src/core/call_list.inc` by `komodo-apidoc --update`;\n"
+      << "edit the registry, not this block. Error names are `KomErrName()`\n"
+      << "strings; every call also returns `success`.\n"
+      << "\n"
+      << "**SMCs (invoked by the OS, call number in `r0`):**\n"
+      << "\n"
+      << "| # | Call | Arguments | Errors |\n"
+      << "|--:|------|-----------|--------|\n";
+  for (const CallInfo& c : komodo::kSmcCalls) {
+    out << "| " << c.number << " | `" << c.name << "` | " << FormatArgs(c) << " | "
+        << FormatErrors(c.errors) << " |\n";
+  }
+  out << "\n"
+      << "**SVCs (invoked by enclave code, call number in `r0`):**\n"
+      << "\n"
+      << "| # | Call | Arguments | Errors |\n"
+      << "|--:|------|-----------|--------|\n";
+  for (const CallInfo& c : komodo::kSvcCalls) {
+    out << "| " << c.number << " | `" << c.name << "` | " << FormatArgs(c) << " | "
+        << FormatErrors(c.errors) << " |\n";
+  }
+  return out.str();
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Splices the generated section between the markers; returns false (leaving
+// *text untouched) when the markers are absent or out of order.
+bool Splice(std::string* text, const std::string& generated) {
+  const size_t begin = text->find(kBeginMarker);
+  if (begin == std::string::npos) {
+    return false;
+  }
+  const size_t content_start = begin + std::strlen(kBeginMarker);
+  const size_t end = text->find(kEndMarker, content_start);
+  if (end == std::string::npos) {
+    return false;
+  }
+  text->replace(content_start, end - content_start, "\n" + generated);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = argc > 1 ? argv[1] : "--print";
+  std::string path = argc > 2 ? argv[2] : std::string(KOMODO_SOURCE_DIR) + "/DESIGN.md";
+
+  const std::string generated = GeneratedSection();
+  if (mode == "--print") {
+    std::fputs(generated.c_str(), stdout);
+    return 0;
+  }
+  if (mode != "--check" && mode != "--update") {
+    std::fprintf(stderr, "usage: komodo-apidoc --print | --check [file] | --update [file]\n");
+    return 2;
+  }
+
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "komodo-apidoc: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::string updated = text;
+  if (!Splice(&updated, generated)) {
+    std::fprintf(stderr, "komodo-apidoc: markers not found in %s (expected '%s' ... '%s')\n",
+                 path.c_str(), kBeginMarker, kEndMarker);
+    return 2;
+  }
+
+  if (mode == "--check") {
+    if (updated != text) {
+      std::fprintf(stderr,
+                   "komodo-apidoc: %s is stale relative to src/core/call_list.inc; "
+                   "run komodo-apidoc --update\n",
+                   path.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (updated == text) {
+    return 0;  // already current
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out || !(out << updated)) {
+    std::fprintf(stderr, "komodo-apidoc: cannot write %s\n", path.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "komodo-apidoc: updated %s\n", path.c_str());
+  return 0;
+}
