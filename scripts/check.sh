@@ -25,37 +25,48 @@ for arg in "$@"; do
   esac
 done
 
-echo "=== [1/7] tier-1: configure + build ==="
+echo "=== [1/8] tier-1: configure + build ==="
 cmake -B build -S . $(generator_for build) -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "=== [2/7] tier-1: ctest ==="
+echo "=== [2/8] tier-1: ctest ==="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [3/7] tier-1: ctest with interpreter caches disabled ==="
+echo "=== [3/8] tier-1: ctest with interpreter caches disabled ==="
 # The fast-path caches (DESIGN.md §8) must be architecturally invisible;
 # the whole suite has to pass with them off as well.
 KOMODO_INTERP_CACHE=off ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [4/7] tier-1: ctest with tracing enabled ==="
+echo "=== [4/8] tier-1: ctest with tracing enabled ==="
 # The tracer (DESIGN.md §9) must be architecturally invisible too: the whole
 # suite — including the cycle-regression test — has to pass with every
 # monitor tracing into a live ring buffer.
 KOMODO_TRACE=on ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [5/7] bench smoke (cached/uncached invisibility check) ==="
+echo "=== [5/8] bench smoke (cached/uncached invisibility check) ==="
 ctest --test-dir build -L bench-smoke --output-on-failure
 
-echo "=== [6/7] bench/trace JSON artifacts validate ==="
+echo "=== [6/8] bench/trace JSON artifacts validate ==="
 # The bench-smoke runs above emitted komodo-bench-v1 / komodo-metrics-v1 /
 # chrome-trace artifacts into build/bench; a drifting emitter fails here.
 ./build/tools/komodo-benchjson build/bench/BENCH_*.json \
   build/bench/METRICS_fig5_notary.json
 ./build/tools/komodo-benchjson --schema chrome build/bench/TRACE_fig5_notary.json
 
-echo "=== [7/7] komodo-lint: shipped programs + fixtures ==="
+echo "=== [7/8] komodo-lint: shipped programs + fixtures ==="
 ./build/tools/komodo-lint --check-shipped
 ./build/tools/komodo-lint --check-fixtures
+
+echo "=== [8/8] komodo-fuzz smoke (fixed seed, all oracles, determinism) ==="
+# A short fixed-seed campaign per oracle (DESIGN.md §10). Run twice; stdout —
+# including the campaign-hash over every generated trace and verdict — must be
+# byte-identical, or the fuzzer has lost replayability.
+FUZZ_ARGS=(--seed 20260807 --calls 400 --trace-len 60 --out build)
+./build/tools/komodo-fuzz "${FUZZ_ARGS[@]}" 2>/dev/null > build/fuzz-smoke-1.out
+./build/tools/komodo-fuzz "${FUZZ_ARGS[@]}" 2>/dev/null > build/fuzz-smoke-2.out
+cmp build/fuzz-smoke-1.out build/fuzz-smoke-2.out \
+  || { echo "komodo-fuzz: nondeterministic campaign output" >&2; exit 1; }
+grep "^campaign-hash " build/fuzz-smoke-1.out
 
 if [[ "$SKIP_SANITIZERS" == 1 ]]; then
   echo "=== sanitizers: skipped (--skip-sanitizers) ==="
@@ -65,6 +76,9 @@ else
     -DKOMODO_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+  echo "=== ASan+UBSan komodo-fuzz smoke ==="
+  ./build-asan/tools/komodo-fuzz --seed 20260807 --calls 150 --trace-len 40 \
+    --out build-asan >/dev/null
 fi
 
 # clang-tidy is optional: the reference container only ships gcc.

@@ -384,13 +384,18 @@ StepResult Step(MachineState& m) {
         if (is_load) {
           const word value = m.mem.Read(tr.phys);
           if (insn.rd == PC) {
-            next_pc = value;
+            // Same alignment discipline as LDM-to-PC below: Thumb
+            // interworking is unmodelled, so the low bits are cleared.
+            next_pc = value & ~3u;
             m.cycles.Charge(kCosts.branch_taken);
           } else {
             m.WriteReg(insn.rd, value);
           }
         } else {
-          m.mem.Write(tr.phys, m.ReadReg(insn.rd));
+          // STR with Rd = PC stores the instruction address + 8, matching the
+          // STM-with-PC case below (ReadReg(PC) would give the raw fetch
+          // address).
+          m.mem.Write(tr.phys, (insn.rd == PC) ? insn_addr + 8 : m.ReadReg(insn.rd));
           NoteStore(m, tr.phys);
         }
       }

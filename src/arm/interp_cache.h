@@ -35,6 +35,7 @@
 #include "src/arm/memory.h"
 #include "src/arm/page_table.h"
 #include "src/arm/types.h"
+#include "src/fuzz/inject.h"
 
 namespace komodo::arm {
 
@@ -72,7 +73,11 @@ class InterpCaches {
   // generation load.
   const Instruction* LookupDecode(const PhysMemory& mem, paddr phys) {
     DecodeEntry& e = decode_[(phys >> 2) & (kDecodeEntries - 1)];
-    if (e.addr == phys && mem.PageGenAt(e.gen_idx) == e.gen) {
+    // The generation check is what keeps the cache coherent with stores into
+    // code pages; the fuzz harness can disable it (stale-decode injection) to
+    // prove the cached-vs-uncached oracle catches the resulting divergence.
+    if (e.addr == phys &&
+        (mem.PageGenAt(e.gen_idx) == e.gen || fuzz::Inject().stale_decode)) {
       ++stats_.decode_hits;
       return e.decode_ok ? &e.insn : nullptr;
     }

@@ -6,6 +6,7 @@
 #include <cassert>
 
 #include "src/arm/page_table.h"
+#include "src/fuzz/inject.h"
 
 namespace komodo {
 
@@ -108,11 +109,14 @@ void Monitor::ChargeSmcEpilogue() {
   }
   // Zero the non-return volatile registers to avoid leaking monitor or
   // enclave state (the "other non-return registers are zeroed" invariant of
-  // §5.2).
-  ops_.SetReg(Reg::R2, 0);
-  ops_.SetReg(Reg::R3, 0);
-  ops_.SetReg(Reg::R4, 0);
-  ops_.SetReg(Reg::R12, 0);
+  // §5.2). Skippable under fault injection so the noninterference oracle can
+  // be shown to catch the leak.
+  if (!fuzz::Inject().skip_scratch_clear) {
+    ops_.SetReg(Reg::R2, 0);
+    ops_.SetReg(Reg::R3, 0);
+    ops_.SetReg(Reg::R4, 0);
+    ops_.SetReg(Reg::R12, 0);
+  }
 }
 
 void Monitor::OnSmc() {
@@ -241,8 +245,9 @@ Monitor::CallResult Monitor::SmcInitAddrspace(PageNr as_page, PageNr l1pt_page) 
     return {KomErr::kInvalidPageNo, 0};
   }
   // The two arguments naming the same page is exactly the bug the paper's
-  // verification found in the unverified prototype (§9.1).
-  if (as_page == l1pt_page) {
+  // verification found in the unverified prototype (§9.1). The fuzz harness
+  // can re-introduce the bug to prove the refinement oracle catches it.
+  if (as_page == l1pt_page && !fuzz::Inject().initaddrspace_alias) {
     return {KomErr::kInvalidPageNo, 0};
   }
   if (!db_.IsFree(as_page) || !db_.IsFree(l1pt_page)) {
@@ -416,7 +421,7 @@ Monitor::CallResult Monitor::SmcRemove(PageNr page) {
     return {KomErr::kSuccess, 0};
   }
   if (type == PageType::kAddrspace) {
-    if (db_.AsRefcount(page) != 0) {
+    if (db_.AsRefcount(page) != 0 && !fuzz::Inject().remove_skip_refcount) {
       return {KomErr::kPageInUse, 0};
     }
   } else {

@@ -1,0 +1,93 @@
+#include "src/fuzz/campaign.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "src/crypto/sha256.h"
+#include "src/fuzz/generator.h"
+
+namespace komodo::fuzz {
+
+namespace {
+
+void HashString(crypto::Sha256& h, const std::string& s) {
+  h.Update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+std::string VerdictLine(const Verdict& v) {
+  std::ostringstream out;
+  out << "failed=" << (v.failed ? 1 : 0) << " op=" << v.failing_op << " " << v.detail << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+CampaignResult RunCampaign(const CampaignOptions& opts,
+                           const std::function<void(const std::string&)>& log) {
+  CampaignResult result;
+  crypto::Sha256 hash;
+  std::vector<std::string> oracles = opts.oracles;
+  if (oracles.empty()) {
+    oracles = OracleNames();
+  }
+
+  for (const std::string& oracle : oracles) {
+    OracleStats st;
+    st.oracle = oracle;
+    const auto start = std::chrono::steady_clock::now();
+    // Each trace gets its own seed derived from the master seed; the
+    // splitmix64 increment keeps neighbouring master seeds from overlapping.
+    for (uint64_t k = 0; st.calls < opts.calls; ++k) {
+      const uint64_t trace_seed = opts.seed + 0x9e3779b97f4a7c15ull * (k + 1);
+      Trace t = GenerateTrace(oracle, trace_seed, opts.trace_len);
+      t.inject = opts.inject;
+      const Verdict v = RunTrace(t);
+      ++st.traces;
+      st.calls += t.CallCount();
+      HashString(hash, t.Format());
+      HashString(hash, VerdictLine(v));
+      if (v.failed) {
+        st.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                         .count();
+        result.stats.push_back(st);
+        result.failed = true;
+        result.original = t;
+        result.verdict = v;
+        if (log) {
+          std::ostringstream out;
+          out << "FAIL oracle=" << oracle << " trace-seed=" << trace_seed << " "
+              << v.detail;
+          log(out.str());
+        }
+        result.witness =
+            opts.shrink
+                ? ShrinkTrace(t, [](const Trace& c) { return RunTrace(c); }, &result.shrink)
+                : t;
+        if (log && opts.shrink) {
+          std::ostringstream out;
+          out << "shrunk " << result.shrink.ops_before << " -> " << result.shrink.ops_after
+              << " ops (" << result.witness.CallCount() << " calls, "
+              << result.shrink.evaluations << " oracle runs)";
+          log(out.str());
+        }
+        const crypto::Digest digest = hash.Finalize();
+        result.hash = crypto::DigestToHex(digest);
+        return result;
+      }
+    }
+    st.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    result.stats.push_back(st);
+    if (log) {
+      std::ostringstream out;
+      out << "oracle " << oracle << ": " << st.calls << " calls in " << st.traces
+          << " traces, " << st.seconds << "s";
+      log(out.str());
+    }
+  }
+  const crypto::Digest digest = hash.Finalize();
+  result.hash = crypto::DigestToHex(digest);
+  return result;
+}
+
+}  // namespace komodo::fuzz

@@ -1,0 +1,54 @@
+// Fuzzing campaign driver (DESIGN.md §10): generates traces from a master
+// seed, runs each through its oracle, and stops at the first failure with
+// both the original and the shrunk witness. Everything is a deterministic
+// function of the options, pinned by a running SHA-256 over every generated
+// trace and verdict — two campaigns with the same options produce the same
+// hash or something is nondeterministic.
+#ifndef SRC_FUZZ_CAMPAIGN_H_
+#define SRC_FUZZ_CAMPAIGN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/oracles.h"
+#include "src/fuzz/shrink.h"
+#include "src/fuzz/trace.h"
+
+namespace komodo::fuzz {
+
+struct CampaignOptions {
+  uint64_t seed = 1;
+  uint64_t calls = 10'000;       // monitor-call budget per oracle
+  size_t trace_len = 150;        // ops per generated trace
+  std::vector<std::string> oracles;  // empty = all four
+  std::string inject;            // fault injection applied to every trace
+  bool shrink = true;            // minimize the first failure
+};
+
+struct OracleStats {
+  std::string oracle;
+  uint64_t traces = 0;
+  uint64_t calls = 0;    // monitor calls executed (pokes excluded)
+  double seconds = 0.0;  // wall clock (informational; not part of the hash)
+};
+
+struct CampaignResult {
+  bool failed = false;
+  Trace original;       // the failing trace as generated (valid iff failed)
+  Trace witness;        // the shrunk reproducer (== original if !shrink)
+  Verdict verdict;      // of the original failure
+  ShrinkStats shrink;   // filled when a failure was minimized
+  std::string hash;     // SHA-256 over all traces + verdicts (determinism pin)
+  std::vector<OracleStats> stats;
+};
+
+// Runs the campaign. `log`, when given, receives one progress line per
+// completed oracle and on failure.
+CampaignResult RunCampaign(const CampaignOptions& opts,
+                           const std::function<void(const std::string&)>& log = {});
+
+}  // namespace komodo::fuzz
+
+#endif  // SRC_FUZZ_CAMPAIGN_H_

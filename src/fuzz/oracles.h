@@ -1,0 +1,50 @@
+// The pluggable oracles of the fuzzing subsystem (DESIGN.md §10): each one
+// replays a Trace against fresh world(s) and decides whether the monitor
+// upheld its contract.
+//
+//   refinement        impl-vs-spec bisimulation through the call registry:
+//                     every SMC's error code and resulting abstract PageDb
+//                     must match spec::ApplySmc; SVCs are driven through a
+//                     driver enclave and compared against spec::ApplySvc.
+//   invariants        spec::PageDbViolations after every operation.
+//   noninterference   two worlds differing only in a victim's secret replay
+//                     the identical trace; every SMC result and the full
+//                     ≈adv relation must stay equal.
+//   interp            cache-enabled vs cache-disabled worlds replay the same
+//                     trace; SMC results and complete machine state must be
+//                     bit-identical.
+//
+// A Verdict pinpoints the first failing operation, which is what the shrinker
+// truncates to.
+#ifndef SRC_FUZZ_ORACLES_H_
+#define SRC_FUZZ_ORACLES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/arm/machine.h"
+#include "src/fuzz/trace.h"
+
+namespace komodo::fuzz {
+
+struct Verdict {
+  bool failed = false;
+  int failing_op = -1;  // index into trace.ops; -1 = setup/harness failure
+  std::string detail;
+};
+
+// Replays `t` under its oracle. When `apply_inject` is set (the default) the
+// trace's fault injection is armed for the duration of the run; passing false
+// replays the same trace against the unbroken monitor (corpus tests use this
+// to prove a witness fails *because of* its injection).
+Verdict RunTrace(const Trace& t, bool apply_inject = true);
+
+// Full architectural-state comparison (the non-gtest form of the interp-diff
+// suite's ExpectSameState): registers, banked state, CPSR/SPSRs, system
+// registers, TLB-consistency bit, retired-step and cycle counters, and all of
+// memory. Empty = identical.
+std::vector<std::string> MachineDiff(const arm::MachineState& a, const arm::MachineState& b);
+
+}  // namespace komodo::fuzz
+
+#endif  // SRC_FUZZ_ORACLES_H_

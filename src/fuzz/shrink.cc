@@ -1,0 +1,67 @@
+#include "src/fuzz/shrink.h"
+
+namespace komodo::fuzz {
+
+namespace {
+constexpr size_t kMaxEvaluations = 2000;
+}  // namespace
+
+Trace ShrinkTrace(const Trace& failing, const RunFn& run, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& s = stats != nullptr ? *stats : local;
+  s.ops_before = failing.ops.size();
+
+  Trace best = failing;
+  const auto fails = [&](const Trace& cand) {
+    ++s.evaluations;
+    return run(cand).failed;
+  };
+
+  // Pass 0: confirm the input fails and truncate past the failing op.
+  ++s.evaluations;
+  const Verdict v = run(best);
+  if (!v.failed) {
+    s.ops_after = best.ops.size();
+    return best;
+  }
+  if (v.failing_op >= 0 && static_cast<size_t>(v.failing_op) + 1 < best.ops.size()) {
+    Trace cand = best;
+    cand.ops.resize(static_cast<size_t>(v.failing_op) + 1);
+    if (fails(cand)) {
+      best = std::move(cand);
+    }
+  }
+
+  bool progress = true;
+  while (progress && s.evaluations < kMaxEvaluations) {
+    progress = false;
+    // Delete one op at a time, from the back (later ops are cheapest to lose:
+    // removing an early op usually desynchronizes everything after it).
+    for (size_t i = best.ops.size(); i-- > 0 && s.evaluations < kMaxEvaluations;) {
+      Trace cand = best;
+      cand.ops.erase(cand.ops.begin() + static_cast<long>(i));
+      if (fails(cand)) {
+        best = std::move(cand);
+        progress = true;
+      }
+    }
+    // Simplify arguments toward zero.
+    for (size_t i = 0; i < best.ops.size(); ++i) {
+      for (int j = 0; j < 5 && s.evaluations < kMaxEvaluations; ++j) {
+        if (best.ops[i].a[j] == 0) {
+          continue;
+        }
+        Trace cand = best;
+        cand.ops[i].a[j] = 0;
+        if (fails(cand)) {
+          best = std::move(cand);
+          progress = true;
+        }
+      }
+    }
+  }
+  s.ops_after = best.ops.size();
+  return best;
+}
+
+}  // namespace komodo::fuzz

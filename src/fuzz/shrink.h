@@ -1,0 +1,35 @@
+// Trace minimization (DESIGN.md §10): given a failing trace, produce the
+// smallest trace that still fails the same oracle, by fixpoint iteration of
+//   1. truncate everything after the failing operation,
+//   2. delete one operation at a time (scanning from the back),
+//   3. simplify arguments (try zero for each nonzero argument word).
+// Every candidate is re-run through the oracle, so a minimized witness is a
+// failing trace by construction.
+#ifndef SRC_FUZZ_SHRINK_H_
+#define SRC_FUZZ_SHRINK_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "src/fuzz/oracles.h"
+#include "src/fuzz/trace.h"
+
+namespace komodo::fuzz {
+
+using RunFn = std::function<Verdict(const Trace&)>;
+
+struct ShrinkStats {
+  size_t evaluations = 0;
+  size_t ops_before = 0;
+  size_t ops_after = 0;
+};
+
+// Minimizes `failing` under `run` (normally [](const Trace& t) { return
+// RunTrace(t); }). If `failing` does not actually fail, it is returned
+// unchanged. Evaluation count is bounded (~2000 oracle runs), which in
+// practice converges: shrunk witnesses are a handful of ops.
+Trace ShrinkTrace(const Trace& failing, const RunFn& run, ShrinkStats* stats = nullptr);
+
+}  // namespace komodo::fuzz
+
+#endif  // SRC_FUZZ_SHRINK_H_

@@ -1,0 +1,202 @@
+#include "src/fuzz/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/crypto/sha256.h"
+
+namespace komodo::fuzz {
+
+namespace {
+
+std::string Hex(word v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%x", v);
+  return buf;
+}
+
+bool ParseWord(const std::string& tok, word* out) {
+  if (tok.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(tok.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<word>(v);
+  return true;
+}
+
+}  // namespace
+
+size_t Trace::CallCount() const {
+  size_t n = 0;
+  for (const TraceOp& op : ops) {
+    n += op.IsCall() ? 1 : 0;
+  }
+  return n;
+}
+
+std::string Trace::Format() const {
+  std::ostringstream out;
+  out << "komodo-fuzz-trace v1\n";
+  out << "oracle " << oracle << "\n";
+  out << "seed " << seed << "\n";
+  out << "pages " << pages << "\n";
+  if (!inject.empty()) {
+    out << "inject " << inject << "\n";
+  }
+  if (!victim.empty()) {
+    out << "victim " << victim << "\n";
+    out << "secrets " << Hex(secrets[0]) << " " << Hex(secrets[1]) << "\n";
+  }
+  for (const TraceOp& op : ops) {
+    switch (op.kind) {
+      case OpKind::kPoke:
+        out << "poke " << op.a[0] << " " << op.a[1] << " " << Hex(op.a[2]) << "\n";
+        break;
+      case OpKind::kSmc:
+        out << "smc " << op.a[0] << " " << Hex(op.a[1]) << " " << Hex(op.a[2]) << " "
+            << Hex(op.a[3]) << " " << Hex(op.a[4]) << "\n";
+        break;
+      case OpKind::kSvc:
+        out << "svc " << op.a[0] << " " << Hex(op.a[1]) << " " << Hex(op.a[2]) << " "
+            << Hex(op.a[3]) << "\n";
+        break;
+      case OpKind::kEnter:
+        out << "enter " << Hex(op.a[1]) << " " << Hex(op.a[2]) << " " << Hex(op.a[3]) << "\n";
+        break;
+      case OpKind::kResume:
+        out << "resume\n";
+        break;
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+std::string Trace::Hash() const {
+  const std::string text = Format();
+  return crypto::DigestToHex(
+      crypto::Sha256Hash(reinterpret_cast<const uint8_t*>(text.data()), text.size()));
+}
+
+std::optional<Trace> Trace::Parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  // Comments and blank lines may precede the magic: committed corpus files
+  // carry a header explaining what the witness demonstrates.
+  do {
+    if (!std::getline(in, line)) {
+      return std::nullopt;
+    }
+  } while (line.empty() || line[0] == '#');
+  if (line != "komodo-fuzz-trace v1") {
+    return std::nullopt;
+  }
+  Trace t;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    auto words = [&ls](word* out, int n, int required) {
+      int got = 0;
+      std::string tok;
+      while (got < n && ls >> tok) {
+        if (!ParseWord(tok, &out[got])) {
+          return false;
+        }
+        ++got;
+      }
+      return got >= required;
+    };
+    if (tag == "oracle") {
+      ls >> t.oracle;
+    } else if (tag == "seed") {
+      uint64_t s = 0;
+      ls >> s;
+      t.seed = s;
+    } else if (tag == "pages") {
+      if (!words(&t.pages, 1, 1)) {
+        return std::nullopt;
+      }
+    } else if (tag == "inject") {
+      ls >> t.inject;
+    } else if (tag == "victim") {
+      ls >> t.victim;
+    } else if (tag == "secrets") {
+      if (!words(t.secrets, 2, 2)) {
+        return std::nullopt;
+      }
+    } else if (tag == "poke") {
+      TraceOp op;
+      op.kind = OpKind::kPoke;
+      if (!words(op.a, 3, 3)) {
+        return std::nullopt;
+      }
+      t.ops.push_back(op);
+    } else if (tag == "smc") {
+      TraceOp op;
+      op.kind = OpKind::kSmc;
+      if (!words(op.a, 5, 5)) {
+        return std::nullopt;
+      }
+      t.ops.push_back(op);
+    } else if (tag == "svc") {
+      TraceOp op;
+      op.kind = OpKind::kSvc;
+      if (!words(op.a, 4, 4)) {
+        return std::nullopt;
+      }
+      t.ops.push_back(op);
+    } else if (tag == "enter") {
+      TraceOp op;
+      op.kind = OpKind::kEnter;
+      if (!words(&op.a[1], 3, 3)) {
+        return std::nullopt;
+      }
+      t.ops.push_back(op);
+    } else if (tag == "resume") {
+      TraceOp op;
+      op.kind = OpKind::kResume;
+      t.ops.push_back(op);
+    } else if (tag == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return std::nullopt;  // unknown tag: refuse rather than misreplay
+    }
+  }
+  if (!saw_end || t.oracle.empty()) {
+    return std::nullopt;
+  }
+  return t;
+}
+
+bool Trace::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << Format();
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> Trace::ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+}  // namespace komodo::fuzz

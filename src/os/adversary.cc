@@ -20,9 +20,9 @@ word Adversary::RandomPageArg() {
       return drbg_.Below(16);  // the adversary's working set
     case 4:
     case 5:
-      return drbg_.Below(os_.machine().mem.nsecure_pages());
+      return drbg_.Below(nsecure_pages_);
     case 6:
-      return os_.machine().mem.nsecure_pages();  // one past the end
+      return nsecure_pages_;  // one past the end
     default:
       return drbg_.NextWord();  // wild
   }

@@ -24,7 +24,15 @@ struct AdvAction {
 
 class Adversary {
  public:
-  Adversary(Os& os, uint64_t seed) : os_(os), drbg_(seed) {}
+  Adversary(Os& os, uint64_t seed)
+      : os_(&os), nsecure_pages_(os.machine().mem.nsecure_pages()), drbg_(seed) {}
+
+  // Detached form: generates actions for a world of `nsecure_pages` secure
+  // pages without holding an Os. Used by the fuzz trace generator, which
+  // records actions for later replay instead of executing them; Step() is
+  // unavailable in this form.
+  Adversary(word nsecure_pages, uint64_t seed)
+      : os_(nullptr), nsecure_pages_(nsecure_pages), drbg_(seed) {}
 
   // Generates the next action. Arguments are drawn from a mix of: small page
   // numbers (likely allocated), random valid page numbers, out-of-range
@@ -35,10 +43,11 @@ class Adversary {
   // Executes an action (replayable across machines).
   static SmcRet Execute(Os& os, const AdvAction& action);
 
-  // Convenience: generate-and-execute, returning the action taken.
+  // Convenience: generate-and-execute, returning the action taken. Only
+  // valid when constructed with an Os.
   AdvAction Step() {
     const AdvAction a = NextAction();
-    Execute(os_, a);
+    Execute(*os_, a);
     return a;
   }
 
@@ -46,7 +55,8 @@ class Adversary {
   word RandomPageArg();
   word RandomMapping();
 
-  Os& os_;
+  Os* os_;  // null in the detached (generator-only) form
+  word nsecure_pages_;
   crypto::HashDrbg drbg_;
 };
 

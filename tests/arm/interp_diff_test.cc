@@ -15,6 +15,8 @@
 #include "src/crypto/drbg.h"
 #include "src/enclave/programs.h"
 #include "src/enclave/sha256_program.h"
+#include "src/fuzz/generator.h"
+#include "src/fuzz/oracles.h"
 #include "src/os/world.h"
 
 namespace komodo::arm {
@@ -23,22 +25,12 @@ namespace {
 constexpr vaddr kCodeBase = 0x2000;
 constexpr vaddr kScratchBase = 0x4000;
 
+// The field-by-field comparison lives in the fuzz library (the interp oracle
+// uses the same one); here each differing field becomes its own failure.
 void ExpectSameState(const MachineState& a, const MachineState& b) {
-  EXPECT_EQ(a.r, b.r);
-  EXPECT_EQ(a.pc, b.pc);
-  EXPECT_EQ(a.cpsr, b.cpsr);
-  EXPECT_EQ(a.sp_banked, b.sp_banked);
-  EXPECT_EQ(a.lr_banked, b.lr_banked);
-  EXPECT_EQ(a.spsr_banked, b.spsr_banked);
-  EXPECT_EQ(a.scr_ns, b.scr_ns);
-  EXPECT_EQ(a.ttbr0, b.ttbr0);
-  EXPECT_EQ(a.ttbr1, b.ttbr1);
-  EXPECT_EQ(a.vbar_secure, b.vbar_secure);
-  EXPECT_EQ(a.vbar_monitor, b.vbar_monitor);
-  EXPECT_EQ(a.tlb_consistent, b.tlb_consistent);
-  EXPECT_EQ(a.steps_retired, b.steps_retired);
-  EXPECT_EQ(a.cycles.total(), b.cycles.total());
-  EXPECT_TRUE(a.mem == b.mem) << "memories diverge";
+  for (const std::string& diff : fuzz::MachineDiff(a, b)) {
+    ADD_FAILURE() << diff;
+  }
 }
 
 // A bare machine in the normal world (flat translation), like the ISA sweeps
@@ -72,58 +64,15 @@ void RunLockstep(MachineState& cached, MachineState& uncached, int max_steps) {
 
 // --- Randomized flat programs ----------------------------------------------------
 
-// Emits a random data-processing / multiply / load-store instruction. Bases
-// R10 (scratch) and R11 (code) are never clobbered; destinations stay in
-// R0-R9 so the program cannot jump away; conditions and S bits are random so
-// the decode cache sees the full encoding space.
-Instruction RandomInsn(crypto::HashDrbg& drbg) {
-  Instruction insn;
-  insn.cond = static_cast<Cond>(drbg.Below(15));  // all conditions incl. kAl
-  const uint32_t kind = drbg.Below(10);
-  const Reg rd = static_cast<Reg>(drbg.Below(10));
-  const Reg rn = static_cast<Reg>(drbg.Below(12));
-  const Reg rm = static_cast<Reg>(drbg.Below(12));
-  if (kind < 6) {  // data-processing
-    insn.op = static_cast<Op>(drbg.Below(16));  // kAnd..kMvn
-    insn.set_flags = drbg.Below(2) != 0;
-    if (insn.op == Op::kTst || insn.op == Op::kTeq || insn.op == Op::kCmp ||
-        insn.op == Op::kCmn) {
-      insn.set_flags = true;
-    }
-    insn.rd = rd;
-    insn.rn = rn;
-    if (drbg.Below(2) != 0) {
-      insn.op2 = Operand2::Imm(static_cast<uint8_t>(drbg.Below(256)),
-                               static_cast<uint8_t>(drbg.Below(16)));
-    } else {
-      insn.op2 = Operand2::Rm(rm, static_cast<ShiftKind>(drbg.Below(4)),
-                              static_cast<uint8_t>(drbg.Below(32)));
-    }
-  } else if (kind < 7) {  // multiply
-    insn.op = Op::kMul;
-    insn.rd = rd;
-    insn.rm = static_cast<Reg>(drbg.Below(10));
-    insn.rn = static_cast<Reg>(drbg.Below(10));  // Rs in the MUL encoding
-    if (insn.rm == insn.rd) {  // Rd==Rm is UNPREDICTABLE; sidestep it
-      insn.rm = static_cast<Reg>((insn.rm + 1) % 10);
-    }
-  } else {  // load/store word through the scratch base
-    insn.op = drbg.Below(2) != 0 ? Op::kLdr : Op::kStr;
-    insn.rd = rd;
-    insn.rn = R10;
-    insn.mem_imm12 = static_cast<uint16_t>(drbg.Below(64) * kWordSize);
-    insn.mem_add = true;
-  }
-  return insn;
-}
-
 TEST(InterpDiffTest, RandomFlatProgramsMatchExactly) {
+  // The generator lives in the fuzz library (fuzz::RandomFlatInsn) so the
+  // komodo-fuzz interp oracle and this suite exercise the same space.
   for (uint64_t seed = 0; seed < 24; ++seed) {
     crypto::HashDrbg drbg(0x9e3779b9 + seed);
     std::vector<word> code;
     const size_t len = 16 + drbg.Below(48);
     for (size_t i = 0; i < len; ++i) {
-      code.push_back(Encode(RandomInsn(drbg)));
+      code.push_back(Encode(fuzz::RandomFlatInsn(drbg)));
     }
     code.push_back(0xef000000);  // SVC #0 terminator
 

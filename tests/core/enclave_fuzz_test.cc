@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/crypto/drbg.h"
+#include "src/fuzz/generator.h"
 #include "src/os/world.h"
 #include "src/spec/extract.h"
 #include "src/spec/invariants.h"
@@ -13,80 +14,15 @@
 namespace komodo {
 namespace {
 
+using fuzz::RandomEnclaveInsn;
 using os::World;
-
-// Generates a random well-formed instruction (no SMC — that is undefined in
-// user mode anyway and tested elsewhere).
-word RandomInstruction(crypto::HashDrbg& drbg) {
-  using namespace arm;
-  Instruction insn;
-  insn.cond = static_cast<Cond>(drbg.Below(15));
-  switch (drbg.Below(8)) {
-    case 0:
-    case 1: {  // data-processing, immediate
-      static constexpr Op kOps[] = {Op::kAnd, Op::kEor, Op::kSub, Op::kAdd, Op::kOrr,
-                                    Op::kMov, Op::kBic, Op::kMvn, Op::kCmp, Op::kTst};
-      insn.op = kOps[drbg.Below(10)];
-      insn.set_flags = drbg.Below(2) != 0;
-      insn.rd = static_cast<Reg>(drbg.Below(13));  // keep PC out of rd
-      insn.rn = static_cast<Reg>(drbg.Below(13));
-      insn.op2 = Operand2::Imm(static_cast<uint8_t>(drbg.Below(256)),
-                               static_cast<uint8_t>(drbg.Below(16)));
-      break;
-    }
-    case 2: {  // data-processing, shifted register
-      insn.op = Op::kAdd;
-      insn.rd = static_cast<Reg>(drbg.Below(13));
-      insn.rn = static_cast<Reg>(drbg.Below(13));
-      insn.op2 = Operand2::Rm(static_cast<Reg>(drbg.Below(13)),
-                              static_cast<ShiftKind>(drbg.Below(4)),
-                              static_cast<uint8_t>(drbg.Below(32)));
-      break;
-    }
-    case 3: {  // multiply
-      insn.op = Op::kMul;
-      insn.rd = static_cast<Reg>(drbg.Below(13));
-      insn.rm = static_cast<Reg>(drbg.Below(13));
-      insn.rn = static_cast<Reg>(drbg.Below(13));
-      break;
-    }
-    case 4: {  // load/store — mostly wild addresses
-      insn.op = drbg.Below(2) ? Op::kLdr : Op::kStr;
-      insn.rd = static_cast<Reg>(drbg.Below(13));
-      insn.rn = static_cast<Reg>(drbg.Below(13));
-      insn.mem_imm12 = static_cast<uint16_t>(drbg.Below(0x1000));
-      insn.mem_add = drbg.Below(2) != 0;
-      break;
-    }
-    case 5: {  // block transfer
-      insn.op = drbg.Below(2) ? Op::kLdm : Op::kStm;
-      insn.rn = static_cast<Reg>(drbg.Below(13));
-      insn.reg_list = static_cast<uint16_t>(drbg.Below(0x2000) | 1);  // nonempty, no PC
-      insn.block_pre = drbg.Below(2) != 0;
-      insn.mem_add = drbg.Below(2) != 0;
-      insn.block_wback = drbg.Below(2) != 0;
-      break;
-    }
-    case 6: {  // branch (short offsets so it stays near the code page)
-      insn.op = Op::kB;
-      insn.branch_offset = (static_cast<int32_t>(drbg.Below(64)) - 32) * 4;
-      break;
-    }
-    default: {  // SVC with a random call number and whatever is in the regs
-      insn.op = Op::kSvc;
-      insn.trap_imm = drbg.Below(4);
-      break;
-    }
-  }
-  return Encode(insn);
-}
 
 TEST(EnclaveFuzzTest, RandomValidInstructionStreams) {
   for (uint64_t seed = 1; seed <= 25; ++seed) {
     crypto::HashDrbg drbg(seed * 0x9e3779b9);
     std::vector<word> code;
     for (int i = 0; i < 200; ++i) {
-      code.push_back(RandomInstruction(drbg));
+      code.push_back(RandomEnclaveInsn(drbg));
     }
     Monitor::Config cfg;
     cfg.max_enclave_steps = 5000;  // bound runaway loops
@@ -172,7 +108,7 @@ TEST(EnclaveFuzzTest, FuzzedEnclavesCannotReachOtherEnclaves) {
   for (int round = 0; round < 10; ++round) {
     std::vector<word> code;
     for (int i = 0; i < 150; ++i) {
-      code.push_back(RandomInstruction(drbg));
+      code.push_back(RandomEnclaveInsn(drbg));
     }
     os::Os::BuildOptions opts;
     os::EnclaveHandle attacker;

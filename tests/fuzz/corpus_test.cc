@@ -1,0 +1,63 @@
+// Replays every committed witness in tests/corpus/ (DESIGN.md §10). Each file
+// is a minimized reproducer for one injected (or once-real) bug: it must fail
+// under its recorded fault injection and pass against the unbroken monitor,
+// proving both that the oracle still catches the bug class and that the
+// witness fails *because of* the injection rather than a harness artifact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/oracles.h"
+#include "src/fuzz/trace.h"
+
+namespace komodo::fuzz {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  const std::filesystem::path dir = std::filesystem::path(KOMODO_SOURCE_DIR) / "tests" / "corpus";
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".trace") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Corpus, HasCommittedWitnesses) {
+  EXPECT_GE(CorpusFiles().size(), 3u);
+}
+
+TEST(Corpus, EveryWitnessFailsWithInjectionAndPassesWithout) {
+  for (const std::string& path : CorpusFiles()) {
+    SCOPED_TRACE(path);
+    const auto t = Trace::ReadFile(path);
+    ASSERT_TRUE(t.has_value()) << "unparseable corpus file";
+    EXPECT_FALSE(t->inject.empty()) << "corpus witnesses must name their injection";
+    EXPECT_LE(t->CallCount(), 10u) << "corpus witnesses are minimized";
+
+    const Verdict with = RunTrace(*t, /*apply_inject=*/true);
+    EXPECT_TRUE(with.failed) << "witness no longer fails under " << t->inject;
+
+    const Verdict without = RunTrace(*t, /*apply_inject=*/false);
+    EXPECT_FALSE(without.failed) << "clean monitor fails the witness: " << without.detail;
+  }
+}
+
+TEST(Corpus, WitnessesRoundTripThroughTheTraceFormat) {
+  for (const std::string& path : CorpusFiles()) {
+    SCOPED_TRACE(path);
+    const auto t = Trace::ReadFile(path);
+    ASSERT_TRUE(t.has_value());
+    const auto again = Trace::Parse(t->Format());
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->Hash(), t->Hash());
+  }
+}
+
+}  // namespace
+}  // namespace komodo::fuzz

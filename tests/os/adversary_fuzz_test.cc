@@ -2,6 +2,8 @@
 // the monitor, violate PageDB invariants, or corrupt a bystander enclave.
 #include <gtest/gtest.h>
 
+#include "src/fuzz/generator.h"
+#include "src/fuzz/oracles.h"
 #include "src/os/adversary.h"
 #include "src/os/world.h"
 #include "src/spec/extract.h"
@@ -11,17 +13,16 @@ namespace komodo::os {
 namespace {
 
 TEST(AdversaryFuzzTest, InvariantsSurviveLongTraces) {
+  // Driven through the shared fuzzing library (DESIGN.md §10): the invariants
+  // oracle checks spec::PageDbViolations after *every* operation of the same
+  // randomized traces komodo-fuzz generates. A failure prints the replayable
+  // trace for `komodo-fuzz --replay`.
   for (uint64_t seed = 100; seed < 106; ++seed) {
-    World w{24};
-    Adversary adv(w.os, seed);
-    for (int i = 0; i < 1000; ++i) {
-      adv.Step();
-      if (i % 100 == 99) {
-        const auto violations = spec::PageDbViolations(spec::ExtractPageDb(w.machine));
-        ASSERT_TRUE(violations.empty())
-            << "seed " << seed << " step " << i << ": " << violations.front();
-      }
-    }
+    const fuzz::Trace t = fuzz::GenerateTrace("invariants", seed, 250);
+    const fuzz::Verdict v = fuzz::RunTrace(t);
+    EXPECT_FALSE(v.failed) << "seed " << seed << " op " << v.failing_op << ": " << v.detail
+                           << "\n"
+                           << t.Format();
   }
 }
 

@@ -5,6 +5,8 @@
 // functional-correctness proof (§5.2).
 #include <gtest/gtest.h>
 
+#include "src/fuzz/generator.h"
+#include "src/fuzz/oracles.h"
 #include "src/os/adversary.h"
 #include "src/os/world.h"
 #include "src/spec/extract.h"
@@ -64,24 +66,16 @@ TEST(RefinementTest, DirectedLifecycleMatchesSpec) {
 }
 
 TEST(RefinementTest, RandomizedAdversarialTraces) {
-  for (uint64_t seed = 1; seed <= 8; ++seed) {
-    World w{24};
-    Adversary adv(w.os, seed);
-    spec::PageDb d = spec::ExtractPageDb(w.machine);
-    for (int step = 0; step < 400; ++step) {
-      const AdvAction act = adv.NextAction();
-      const spec::Result expected = ApplySpec(d, act, w.machine);
-      const SmcRet got = Adversary::Execute(w.os, act);
-      ASSERT_EQ(got.err, expected.err)
-          << "seed " << seed << " step " << step << ": " << act.ToString();
-      d = expected.db;
-      const spec::PageDb extracted = spec::ExtractPageDb(w.machine);
-      ASSERT_TRUE(extracted == d)
-          << "seed " << seed << " state divergence after " << act.ToString();
-      const auto violations = spec::PageDbViolations(extracted);
-      ASSERT_TRUE(violations.empty())
-          << "seed " << seed << " invariant: " << violations.front();
-    }
+  // Driven through the shared fuzzing library (DESIGN.md §10): the same
+  // generator and bisimulation oracle komodo-fuzz runs long campaigns with,
+  // here at a ctest-sized budget. A failure prints the full replayable trace
+  // — save it to a file and investigate with `komodo-fuzz --replay`.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const fuzz::Trace t = fuzz::GenerateTrace("refinement", seed, 150);
+    const fuzz::Verdict v = fuzz::RunTrace(t);
+    EXPECT_FALSE(v.failed) << "seed " << seed << " op " << v.failing_op << ": " << v.detail
+                           << "\n"
+                           << t.Format();
   }
 }
 
