@@ -1,0 +1,125 @@
+// Fuzz-campaign throughput benchmark (DESIGN.md §11): monitor calls/sec for
+// the differential fuzzer under (a) fresh world construction per trace — the
+// pre-pooling baseline, (b) snapshot-reset world pooling, and (c) a worker
+// sweep over --jobs. Every configuration must produce the same campaign
+// hash; the bench aborts if any run disagrees, so the numbers can never come
+// from different work.
+//
+// The jobs sweep only shows wall-clock scaling on a multicore host — the
+// committed BENCH_fuzz.json records host_cores so a flat curve on a 1-core
+// box reads as expected, not as a regression. The fresh-vs-pooled ratio is a
+// single-thread property and is meaningful anywhere.
+//
+// Emits BENCH_fuzz.json in the working directory so the perf trajectory is
+// tracked PR over PR. `--smoke` runs a tiny call budget for CI.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/fuzz/campaign.h"
+
+namespace komodo {
+namespace {
+
+struct Run {
+  std::string name;
+  fuzz::CampaignResult result;
+};
+
+Run RunConfig(const std::string& name, uint64_t calls, int jobs, bool reuse) {
+  fuzz::CampaignOptions opts;
+  opts.seed = 20260807;
+  opts.calls = calls;
+  opts.trace_len = 60;
+  opts.jobs = jobs;
+  opts.reuse_worlds = reuse;
+  Run run{name, fuzz::RunCampaign(opts)};
+  if (run.result.failed) {
+    std::fprintf(stderr, "bench_fuzz_throughput: oracle failure in %s:\n%s\n", name.c_str(),
+                 run.result.original.Format().c_str());
+    std::abort();
+  }
+  return run;
+}
+
+uint64_t TotalCalls(const fuzz::CampaignResult& r) {
+  uint64_t calls = 0;
+  for (const fuzz::OracleStats& st : r.stats) {
+    calls += st.calls;
+  }
+  return calls;
+}
+
+}  // namespace
+}  // namespace komodo
+
+int main(int argc, char** argv) {
+  using komodo::Run;
+  using komodo::RunConfig;
+  using komodo::TotalCalls;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  const uint64_t calls = smoke ? 100 : 1500;
+  const unsigned host_cores = std::max(1u, std::thread::hardware_concurrency());
+
+  std::vector<Run> runs;
+  runs.push_back(RunConfig("serial-fresh", calls, 1, /*reuse=*/false));
+  runs.push_back(RunConfig("serial-pooled", calls, 1, /*reuse=*/true));
+  for (const int jobs : {2, 4, 8}) {
+    runs.push_back(RunConfig("jobs-" + std::to_string(jobs), calls, jobs, /*reuse=*/true));
+  }
+
+  // Determinism gate: one campaign hash across every configuration.
+  for (const Run& run : runs) {
+    if (run.result.hash != runs.front().result.hash) {
+      std::fprintf(stderr, "bench_fuzz_throughput: hash mismatch in %s\n  %s\n  %s\n",
+                   run.name.c_str(), runs.front().result.hash.c_str(),
+                   run.result.hash.c_str());
+      return 1;
+    }
+  }
+
+  komodo::bench::BenchJson json("bench_fuzz_throughput");
+  json.Config("smoke", smoke);
+  json.Config("seed", 20260807);
+  json.Config("calls_per_oracle", calls);
+  json.Config("trace_len", 60);
+  json.Config("shards", 16);
+  json.Config("host_cores", host_cores);
+  json.Config("campaign_hash", runs.front().result.hash);
+
+  std::printf("\n=== fuzz campaign throughput (host_cores=%u) ===\n", host_cores);
+  std::printf("%-16s %12s %12s %12s %14s\n", "config", "wall (s)", "calls/s", "worlds", "pages/reset");
+  const double base = runs.front().result.wall_seconds;
+  for (const Run& run : runs) {
+    const komodo::fuzz::CampaignResult& r = run.result;
+    const double rate = r.wall_seconds > 0 ? TotalCalls(r) / r.wall_seconds : 0.0;
+    const double pages_per_reset =
+        r.worlds_reused > 0 ? static_cast<double>(r.pages_restored) / r.worlds_reused : 0.0;
+    std::printf("%-16s %12.3f %12.1f %12llu %14.1f  (%.2fx)\n", run.name.c_str(),
+                r.wall_seconds, rate, static_cast<unsigned long long>(r.worlds_built),
+                pages_per_reset, base / r.wall_seconds);
+    json.Result(run.name, "wall_seconds", r.wall_seconds, "s");
+    json.Result(run.name, "calls_per_sec", rate, "calls/s");
+    json.Result(run.name, "worlds_built", static_cast<double>(r.worlds_built), "worlds");
+    json.Result(run.name, "worlds_reused", static_cast<double>(r.worlds_reused), "worlds");
+    json.Result(run.name, "pages_per_reset", pages_per_reset, "pages");
+    json.Result(run.name, "speedup_vs_serial_fresh", base / r.wall_seconds, "x");
+  }
+
+  const char* path = "BENCH_fuzz.json";
+  if (!json.Write(path)) {
+    std::fprintf(stderr, "bench_fuzz_throughput: cannot write %s\n", path);
+    return 1;
+  }
+  return 0;
+}

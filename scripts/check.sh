@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Pre-merge gate: tier-1 build + tests, an ASan+UBSan build of the full test
-# suite, and the komodo-lint static analysis of every shipped enclave program.
-# Any failure — including a single lint finding — fails the script.
+# Pre-merge gate: tier-1 build + tests, ASan+UBSan and TSan builds of the
+# fuzz path, and the komodo-lint static analysis of every shipped enclave
+# program. Any failure — including a single lint finding — fails the script.
 #
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
@@ -25,39 +25,39 @@ for arg in "$@"; do
   esac
 done
 
-echo "=== [1/8] tier-1: configure + build ==="
+echo "=== [1/9] tier-1: configure + build ==="
 cmake -B build -S . $(generator_for build) -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "=== [2/8] tier-1: ctest ==="
+echo "=== [2/9] tier-1: ctest ==="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [3/8] tier-1: ctest with interpreter caches disabled ==="
+echo "=== [3/9] tier-1: ctest with interpreter caches disabled ==="
 # The fast-path caches (DESIGN.md §8) must be architecturally invisible;
 # the whole suite has to pass with them off as well.
 KOMODO_INTERP_CACHE=off ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [4/8] tier-1: ctest with tracing enabled ==="
+echo "=== [4/9] tier-1: ctest with tracing enabled ==="
 # The tracer (DESIGN.md §9) must be architecturally invisible too: the whole
 # suite — including the cycle-regression test — has to pass with every
 # monitor tracing into a live ring buffer.
 KOMODO_TRACE=on ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [5/8] bench smoke (cached/uncached invisibility check) ==="
+echo "=== [5/9] bench smoke (cached/uncached invisibility check) ==="
 ctest --test-dir build -L bench-smoke --output-on-failure
 
-echo "=== [6/8] bench/trace JSON artifacts validate ==="
+echo "=== [6/9] bench/trace JSON artifacts validate ==="
 # The bench-smoke runs above emitted komodo-bench-v1 / komodo-metrics-v1 /
 # chrome-trace artifacts into build/bench; a drifting emitter fails here.
 ./build/tools/komodo-benchjson build/bench/BENCH_*.json \
   build/bench/METRICS_fig5_notary.json
 ./build/tools/komodo-benchjson --schema chrome build/bench/TRACE_fig5_notary.json
 
-echo "=== [7/8] komodo-lint: shipped programs + fixtures ==="
+echo "=== [7/9] komodo-lint: shipped programs + fixtures ==="
 ./build/tools/komodo-lint --check-shipped
 ./build/tools/komodo-lint --check-fixtures
 
-echo "=== [8/8] komodo-fuzz smoke (fixed seed, all oracles, determinism) ==="
+echo "=== [8/9] komodo-fuzz smoke (fixed seed, all oracles, determinism) ==="
 # A short fixed-seed campaign per oracle (DESIGN.md §10). Run twice; stdout —
 # including the campaign-hash over every generated trace and verdict — must be
 # byte-identical, or the fuzzer has lost replayability.
@@ -67,6 +67,14 @@ FUZZ_ARGS=(--seed 20260807 --calls 400 --trace-len 60 --out build)
 cmp build/fuzz-smoke-1.out build/fuzz-smoke-2.out \
   || { echo "komodo-fuzz: nondeterministic campaign output" >&2; exit 1; }
 grep "^campaign-hash " build/fuzz-smoke-1.out
+
+echo "=== [9/9] komodo-fuzz parallel determinism (--jobs 1 vs --jobs 8) ==="
+# The sharded campaign hash (DESIGN.md §11) is defined to be independent of
+# the worker count; serial and 8-way stdout must be byte-identical.
+./build/tools/komodo-fuzz "${FUZZ_ARGS[@]}" --jobs 8 2>/dev/null \
+  > build/fuzz-smoke-jobs8.out
+cmp build/fuzz-smoke-1.out build/fuzz-smoke-jobs8.out \
+  || { echo "komodo-fuzz: --jobs changed the campaign output" >&2; exit 1; }
 
 if [[ "$SKIP_SANITIZERS" == 1 ]]; then
   echo "=== sanitizers: skipped (--skip-sanitizers) ==="
@@ -79,6 +87,21 @@ else
   echo "=== ASan+UBSan komodo-fuzz smoke ==="
   ./build-asan/tools/komodo-fuzz --seed 20260807 --calls 150 --trace-len 40 \
     --out build-asan >/dev/null
+
+  echo "=== TSan komodo-fuzz parallel smoke ==="
+  # Thread sanitizer over the parallel campaign: per-worker world pools,
+  # thread-local inject flags and the outcome-slot handoff must all be
+  # race-free, and the parallel run must still reproduce the serial hash.
+  cmake -B build-tsan -S . $(generator_for build-tsan) \
+    -DKOMODO_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target komodo-fuzz
+  TSAN_FUZZ_ARGS=(--seed 20260807 --calls 150 --trace-len 40 --out build-tsan)
+  ./build-tsan/tools/komodo-fuzz "${TSAN_FUZZ_ARGS[@]}" --jobs 1 2>/dev/null \
+    > build-tsan/fuzz-smoke-serial.out
+  ./build-tsan/tools/komodo-fuzz "${TSAN_FUZZ_ARGS[@]}" --jobs 8 2>/dev/null \
+    > build-tsan/fuzz-smoke-jobs8.out
+  cmp build-tsan/fuzz-smoke-serial.out build-tsan/fuzz-smoke-jobs8.out \
+    || { echo "komodo-fuzz: --jobs changed the campaign output under TSan" >&2; exit 1; }
 fi
 
 # clang-tidy is optional: the reference container only ships gcc.

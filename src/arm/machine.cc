@@ -87,6 +87,32 @@ void MachineState::FlushTlb() {
   cycles.Charge(kCortexA7Costs.tlb_flush_all);
 }
 
+size_t MachineState::ResetTo(const MachineState& snapshot) {
+  r = snapshot.r;
+  pc = snapshot.pc;
+  cpsr = snapshot.cpsr;
+  sp_banked = snapshot.sp_banked;
+  lr_banked = snapshot.lr_banked;
+  spsr_banked = snapshot.spsr_banked;
+  scr_ns = snapshot.scr_ns;
+  ttbr0 = snapshot.ttbr0;
+  ttbr1 = snapshot.ttbr1;
+  vbar_secure = snapshot.vbar_secure;
+  vbar_monitor = snapshot.vbar_monitor;
+  tlb_consistent = snapshot.tlb_consistent;
+  pending_irq = snapshot.pending_irq;
+  pending_fiq = snapshot.pending_fiq;
+  cycles = snapshot.cycles;
+  steps_retired = snapshot.steps_retired;
+  tlb_flushes = snapshot.tlb_flushes;
+  const size_t restored = mem.ResetTo(snapshot.mem);
+  // set_enabled invalidates every decode/TLB/footprint entry as a side
+  // effect; stale translations must not survive into the next lease even
+  // though page generations only ever move forward.
+  interp.set_enabled(snapshot.interp.enabled());
+  return restored;
+}
+
 void MachineState::SetScrNs(bool ns) {
   assert(cpsr.mode == Mode::kMonitor);
   scr_ns = ns;

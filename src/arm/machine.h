@@ -146,6 +146,20 @@ struct MachineState {
   // uses after editing a live page table from C++ (InstallMapping,
   // UnmapData); a later FlushTlb restores consistency.
   void NoteTlbStale() { tlb_consistent = false; }
+
+  // --- Snapshot-reset (DESIGN.md §11) ----------------------------------------
+  // Restores this machine to `snapshot` — a plain copy of *this taken while
+  // mem's dirty tracking was enabled with an empty dirty set. All scalar
+  // architectural state (registers, banked state, PSRs, system registers,
+  // consistency/pending bits) and the bookkeeping counters (cycles,
+  // steps_retired, tlb_flushes) are copied back; memory is restored page-wise
+  // through PhysMemory::ResetTo, touching only the pages written since the
+  // snapshot. The interpreter caches are invalidated outright (their entries
+  // may embed translations and footprints derived from pre-reset TTBRs) and
+  // the cache-enabled flag reverts to the snapshot's. The result is
+  // state-equal to a fresh copy of the snapshot. Returns the number of memory
+  // pages restored.
+  size_t ResetTo(const MachineState& snapshot);
 };
 
 }  // namespace komodo::arm

@@ -46,7 +46,11 @@ void PhysMemory::WritePage(paddr page_base, const word in[kWordsPerPage]) {
   std::vector<word>* backing = BackingFor(page_base, &index);
   assert(backing != nullptr);
   std::memcpy(backing->data() + index, in, kPageSize);
-  ++page_gen_[PageIndexOf(page_base)];
+  const size_t page_index = PageIndexOf(page_base);
+  ++page_gen_[page_index];
+  if (track_dirty_) {
+    MarkDirty(page_index);
+  }
 }
 
 void PhysMemory::ZeroPage(paddr page_base) {
@@ -55,7 +59,43 @@ void PhysMemory::ZeroPage(paddr page_base) {
   std::vector<word>* backing = BackingFor(page_base, &index);
   assert(backing != nullptr);
   std::fill_n(backing->data() + index, kWordsPerPage, 0u);
-  ++page_gen_[PageIndexOf(page_base)];
+  const size_t page_index = PageIndexOf(page_base);
+  ++page_gen_[page_index];
+  if (track_dirty_) {
+    MarkDirty(page_index);
+  }
+}
+
+word* PhysMemory::PageWords(size_t page_index) {
+  constexpr size_t kInsecurePages = kInsecureSize / kPageSize;
+  constexpr size_t kMonitorPages = kMonitorSize / kPageSize;
+  if (page_index < kInsecurePages) {
+    return insecure_.data() + page_index * kWordsPerPage;
+  }
+  if (page_index < kInsecurePages + kMonitorPages) {
+    return monitor_.data() + (page_index - kInsecurePages) * kWordsPerPage;
+  }
+  assert(page_index < kInsecurePages + kMonitorPages + nsecure_pages_);
+  return secure_.data() + (page_index - kInsecurePages - kMonitorPages) * kWordsPerPage;
+}
+
+void PhysMemory::EnableDirtyTracking() {
+  track_dirty_ = true;
+  dirty_map_.assign(page_gen_.size(), 0);
+  dirty_list_.clear();
+}
+
+size_t PhysMemory::ResetTo(const PhysMemory& snapshot) {
+  assert(track_dirty_);
+  assert(nsecure_pages_ == snapshot.nsecure_pages_);
+  const size_t restored = dirty_list_.size();
+  for (const uint32_t page_index : dirty_list_) {
+    std::memcpy(PageWords(page_index), snapshot.PageWords(page_index), kPageSize);
+    ++page_gen_[page_index];
+    dirty_map_[page_index] = 0;
+  }
+  dirty_list_.clear();
+  return restored;
 }
 
 void PhysMemory::ReadPageBytes(paddr page_base, uint8_t* bytes_out) const {

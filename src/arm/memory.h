@@ -12,6 +12,14 @@
 // cache and micro-TLB validate their entries against these generations, which
 // makes them coherent against *any* writer (interpreted stores, monitor C++
 // code, or test-harness pokes) without explicit invalidation hooks.
+//
+// Snapshot-reset (DESIGN.md §11): with dirty tracking enabled, every store
+// also records the containing page in a dirty list (once per page), so
+// ResetTo(snapshot) can restore the memory to a previously copied state by
+// rewriting only the pages written since tracking began — O(pages actually
+// dirtied) instead of O(total memory). The fuzz campaign's per-worker world
+// pools lean on this to replace a ~17 MB zero-and-reconstruct per trace with
+// a copy of the handful of pages the previous trace touched.
 #ifndef SRC_ARM_MEMORY_H_
 #define SRC_ARM_MEMORY_H_
 
@@ -66,6 +74,9 @@ class PhysMemory {
     assert(p != nullptr);
     *p = value;
     ++page_gen_[page_index];
+    if (track_dirty_) {
+      MarkDirty(page_index);
+    }
   }
 
   // Generation bookkeeping for the interpreter caches: every store bumps the
@@ -92,6 +103,26 @@ class PhysMemory {
   // Byte-oriented view over one page (for measurement hashing). `bytes_out`
   // must hold kPageSize bytes; words are serialised little-endian.
   void ReadPageBytes(paddr page_base, uint8_t* bytes_out) const;
+
+  // --- Snapshot-reset support (DESIGN.md §11) --------------------------------
+  // Starts recording which pages are written from this point on (clears any
+  // previously recorded dirty set). Tracking is off by default; nothing in a
+  // normal run pays more than one predictable branch per store.
+  void EnableDirtyTracking();
+  bool dirty_tracking() const { return track_dirty_; }
+  // Pages written since EnableDirtyTracking / the last ResetTo, as global
+  // page indices (the PageIndexOf/PageGenAt space).
+  const std::vector<uint32_t>& dirty_pages() const { return dirty_list_; }
+
+  // Restores this memory to `snapshot` (a copy taken when the dirty set was
+  // last empty, i.e. at EnableDirtyTracking or right after a ResetTo) by
+  // copying back only the dirty pages, then clears the dirty set. Each
+  // restored page's generation is bumped — never rolled back — so decode
+  // cache and micro-TLB entries can never mistake pre-reset contents for
+  // post-reset contents (the caller must still invalidate caches whose
+  // entries embed generation *indices* that stay valid; MachineState::ResetTo
+  // does). Geometries must match. Returns the number of pages restored.
+  size_t ResetTo(const PhysMemory& snapshot);
 
   // Architectural equality: contents only. Page generations are cache
   // bookkeeping and must not distinguish observably-equal memories.
@@ -122,6 +153,20 @@ class PhysMemory {
         static_cast<const PhysMemory*>(this)->BackingFor(addr, index));
   }
 
+  // First word of the page with global index `page_index` (which must be a
+  // mapped page). Inverse of PageIndexOf's region layout.
+  word* PageWords(size_t page_index);
+  const word* PageWords(size_t page_index) const {
+    return const_cast<PhysMemory*>(this)->PageWords(page_index);
+  }
+
+  void MarkDirty(size_t page_index) {
+    if (!dirty_map_[page_index]) {
+      dirty_map_[page_index] = 1;
+      dirty_list_.push_back(static_cast<uint32_t>(page_index));
+    }
+  }
+
   word nsecure_pages_;
   std::vector<word> insecure_;
   std::vector<word> monitor_;
@@ -129,6 +174,11 @@ class PhysMemory {
   // One generation counter per mapped page, across all three regions in
   // layout order (insecure, monitor, secure).
   std::vector<uint32_t> page_gen_;
+  // Dirty-page recording for snapshot-reset; empty/disabled unless
+  // EnableDirtyTracking was called.
+  bool track_dirty_ = false;
+  std::vector<uint8_t> dirty_map_;    // one flag per mapped page
+  std::vector<uint32_t> dirty_list_;  // insertion-ordered dirty page indices
 };
 
 inline const word* PhysMemory::WordPtr(paddr addr, size_t* page_index) const {

@@ -86,6 +86,14 @@ void Monitor::Boot() {
   machine_.cpsr.mode = Mode::kSupervisor;
   machine_.cpsr.irq_masked = false;
   machine_.cycles.Reset();
+  boot_entropy_ = entropy_;
+}
+
+void Monitor::ResetForReuse() {
+  assert(boot_entropy_.has_value());
+  entropy_ = *boot_entropy_;
+  exceptions_seen_ = 0;
+  obs_.Reset();
 }
 
 void Monitor::ChargeSmcPrologue() {

@@ -58,6 +58,16 @@ class Monitor {
   // attestation key, and configures exception vector bases.
   void Boot();
 
+  // Re-arms the monitor's C++-side state to match a machine that has just
+  // been restored to its post-Boot() snapshot (MachineState::ResetTo): the
+  // entropy source rewinds to its state right after Boot()'s key derivation,
+  // the exception bookkeeping clears, and the per-monitor tracer resets its
+  // ring/counters (keeping its enabled state). Everything else the monitor
+  // "knows" — the PageDB, globals, attestation key — lives in simulated
+  // monitor RAM and is already restored by the machine reset. Must only be
+  // called after Boot().
+  void ResetForReuse();
+
   // Entry from the SMC vector: the machine has just taken an SMC exception
   // from the OS with the call number in r0 and arguments in r1-r4. Handles
   // the call (possibly running enclave code) and performs the exception
@@ -187,6 +197,9 @@ class Monitor {
   MonitorOps ops_;
   PageDb db_;
   crypto::HashDrbg entropy_;
+  // The entropy source as Boot() left it, captured so ResetForReuse can
+  // rewind SvcGetRandom draws without replaying the boot key derivation.
+  std::optional<crypto::HashDrbg> boot_entropy_;
   UserRunner user_runner_;
   // Per-monitor tracer/counters (DESIGN.md §9); env-activated, never charges
   // simulated cycles. Per-instance so concurrent Worlds trace independently.

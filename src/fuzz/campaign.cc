@@ -1,10 +1,16 @@
 #include "src/fuzz/campaign.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <ctime>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 #include "src/crypto/sha256.h"
 #include "src/fuzz/generator.h"
+#include "src/fuzz/pool.h"
 
 namespace komodo::fuzz {
 
@@ -20,73 +26,219 @@ std::string VerdictLine(const Verdict& v) {
   return out.str();
 }
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// CPU time of the calling thread — the per-shard cost figure that stays
+// comparable whether shards timeslice one core or spread over eight.
+double ThreadCpuSeconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) {
+    return 0.0;
+  }
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+using Clock = std::chrono::steady_clock;
+
+// One (oracle, shard) work unit; tasks are indexed in canonical order
+// (oracle-major, shard-minor), which is also the hash-merge order.
+struct ShardTask {
+  size_t oracle_idx = 0;
+  uint32_t shard = 0;
+  uint64_t call_budget = 0;
+};
+
+struct ShardFailure {
+  uint64_t trace_index = 0;  // k within the shard's stream
+  Trace trace;
+  Verdict verdict;
+};
+
+struct ShardOutcome {
+  uint64_t traces = 0;
+  uint64_t calls = 0;
+  double cpu_seconds = 0.0;
+  double done_at = 0.0;  // wall seconds since campaign start at completion
+  std::string digest;    // SHA-256 hex over this shard's traces + verdicts
+  std::optional<ShardFailure> failure;
+};
+
+// Runs one shard to its call budget (or its first failure), hashing every
+// generated trace and verdict into the shard digest.
+ShardOutcome RunShard(const CampaignOptions& opts, const std::string& oracle,
+                      const ShardTask& task, WorldPool& pool, Clock::time_point campaign_start) {
+  ShardOutcome out;
+  const double cpu_begin = ThreadCpuSeconds();
+  crypto::Sha256 hash;
+  for (uint64_t k = 0; out.calls < task.call_budget; ++k) {
+    Trace t = GenerateTrace(oracle, ShardTraceSeed(opts.seed, task.shard, k), opts.trace_len);
+    t.inject = opts.inject;
+    const Verdict v = RunTrace(t, /*apply_inject=*/true, &pool);
+    ++out.traces;
+    out.calls += t.CallCount();
+    HashString(hash, t.Format());
+    HashString(hash, VerdictLine(v));
+    if (v.failed) {
+      out.failure = ShardFailure{k, std::move(t), v};
+      break;
+    }
+  }
+  out.digest = crypto::DigestToHex(hash.Finalize());
+  out.cpu_seconds = ThreadCpuSeconds() - cpu_begin;
+  out.done_at = std::chrono::duration<double>(Clock::now() - campaign_start).count();
+  return out;
+}
+
 }  // namespace
+
+uint64_t ShardTraceSeed(uint64_t seed, uint32_t shard, uint64_t k) {
+  // Diffuse the shard index through splitmix64 before mixing in the per-trace
+  // counter: shard streams stay disjoint even for adjacent master seeds, and
+  // the k-increment cannot walk one shard's stream into another's.
+  return SplitMix64(SplitMix64(seed ^ (0x9e3779b97f4a7c15ull * (shard + 1))) + k);
+}
 
 CampaignResult RunCampaign(const CampaignOptions& opts,
                            const std::function<void(const std::string&)>& log) {
   CampaignResult result;
-  crypto::Sha256 hash;
+  const Clock::time_point start = Clock::now();
   std::vector<std::string> oracles = opts.oracles;
   if (oracles.empty()) {
     oracles = OracleNames();
   }
+  const uint32_t shards = opts.shards == 0 ? 1 : opts.shards;
 
-  for (const std::string& oracle : oracles) {
-    OracleStats st;
-    st.oracle = oracle;
-    const auto start = std::chrono::steady_clock::now();
-    // Each trace gets its own seed derived from the master seed; the
-    // splitmix64 increment keeps neighbouring master seeds from overlapping.
-    for (uint64_t k = 0; st.calls < opts.calls; ++k) {
-      const uint64_t trace_seed = opts.seed + 0x9e3779b97f4a7c15ull * (k + 1);
-      Trace t = GenerateTrace(oracle, trace_seed, opts.trace_len);
-      t.inject = opts.inject;
-      const Verdict v = RunTrace(t);
-      ++st.traces;
-      st.calls += t.CallCount();
-      HashString(hash, t.Format());
-      HashString(hash, VerdictLine(v));
-      if (v.failed) {
-        st.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-                         .count();
-        result.stats.push_back(st);
-        result.failed = true;
-        result.original = t;
-        result.verdict = v;
-        if (log) {
-          std::ostringstream out;
-          out << "FAIL oracle=" << oracle << " trace-seed=" << trace_seed << " "
-              << v.detail;
-          log(out.str());
-        }
-        result.witness =
-            opts.shrink
-                ? ShrinkTrace(t, [](const Trace& c) { return RunTrace(c); }, &result.shrink)
-                : t;
-        if (log && opts.shrink) {
-          std::ostringstream out;
-          out << "shrunk " << result.shrink.ops_before << " -> " << result.shrink.ops_after
-              << " ops (" << result.witness.CallCount() << " calls, "
-              << result.shrink.evaluations << " oracle runs)";
-          log(out.str());
-        }
-        const crypto::Digest digest = hash.Finalize();
-        result.hash = crypto::DigestToHex(digest);
-        return result;
-      }
+  // Canonical task list: oracle-major, shard-minor. The per-oracle call
+  // budget splits as evenly as the integer division allows, remainder to the
+  // lowest shard indices, so the split — and thus the hash — depends only on
+  // (calls, shards).
+  std::vector<ShardTask> tasks;
+  for (size_t o = 0; o < oracles.size(); ++o) {
+    const uint64_t base = opts.calls / shards;
+    const uint64_t remainder = opts.calls % shards;
+    for (uint32_t s = 0; s < shards; ++s) {
+      tasks.push_back({o, s, base + (s < remainder ? 1 : 0)});
     }
-    st.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-    result.stats.push_back(st);
-    if (log) {
+  }
+
+  std::vector<ShardOutcome> outcomes(tasks.size());
+  std::vector<WorldPool::Stats> pool_stats;
+
+  unsigned jobs = opts.jobs > 0 ? static_cast<unsigned>(opts.jobs)
+                                : std::max(1u, std::thread::hardware_concurrency());
+  jobs = std::min<unsigned>(jobs, static_cast<unsigned>(tasks.size()));
+
+  if (jobs <= 1) {
+    // Serial fast path: no threads at all, same code per shard.
+    WorldPool pool(FuzzMonitorConfig(), opts.reuse_worlds);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      outcomes[i] = RunShard(opts, oracles[tasks[i].oracle_idx], tasks[i], pool, start);
+    }
+    pool_stats.push_back(pool.stats());
+  } else {
+    // Worker pool: each worker owns a WorldPool (worlds, monitors and their
+    // tracers stay thread-confined) and claims tasks off a shared counter.
+    // Workers write only their own outcome slots; the merge below is the
+    // only reader and runs after join.
+    pool_stats.resize(jobs);
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) {
+      workers.emplace_back([&, w]() {
+        WorldPool pool(FuzzMonitorConfig(), opts.reuse_worlds);
+        for (size_t i = next.fetch_add(1); i < tasks.size(); i = next.fetch_add(1)) {
+          outcomes[i] = RunShard(opts, oracles[tasks[i].oracle_idx], tasks[i], pool, start);
+        }
+        pool_stats[w] = pool.stats();
+      });
+    }
+    for (std::thread& t : workers) {
+      t.join();
+    }
+  }
+
+  for (const WorldPool::Stats& ps : pool_stats) {
+    result.worlds_built += ps.constructions;
+    result.worlds_reused += ps.resets;
+    result.pages_restored += ps.pages_restored;
+  }
+
+  // Canonical merge: per-oracle stats, the campaign hash over the per-shard
+  // digests in task order, and the canonically first failure.
+  crypto::Sha256 hash;
+  {
+    std::ostringstream header;
+    header << "komodo-fuzz-campaign-hash v2 shards=" << shards << "\n";
+    HashString(hash, header.str());
+  }
+  const ShardFailure* first_failure = nullptr;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const ShardTask& task = tasks[i];
+    const ShardOutcome& out = outcomes[i];
+    if (task.shard == 0) {
+      OracleStats st;
+      st.oracle = oracles[task.oracle_idx];
+      result.stats.push_back(st);
+    }
+    OracleStats& st = result.stats.back();
+    st.traces += out.traces;
+    st.calls += out.calls;
+    st.cpu_seconds += out.cpu_seconds;
+    st.seconds = std::max(st.seconds, out.done_at);
+    std::ostringstream line;
+    line << "oracle=" << oracles[task.oracle_idx] << " shard=" << task.shard
+         << " traces=" << out.traces << " calls=" << out.calls << " digest=" << out.digest
+         << "\n";
+    HashString(hash, line.str());
+    if (first_failure == nullptr && out.failure.has_value()) {
+      first_failure = &*out.failure;  // task order is canonical order
+    }
+  }
+  result.hash = crypto::DigestToHex(hash.Finalize());
+
+  if (log) {
+    for (const OracleStats& st : result.stats) {
       std::ostringstream out;
-      out << "oracle " << oracle << ": " << st.calls << " calls in " << st.traces
-          << " traces, " << st.seconds << "s";
+      out << "oracle " << st.oracle << ": " << st.calls << " calls in " << st.traces
+          << " traces, " << st.cpu_seconds << "s cpu";
       log(out.str());
     }
   }
-  const crypto::Digest digest = hash.Finalize();
-  result.hash = crypto::DigestToHex(digest);
+
+  if (first_failure != nullptr) {
+    result.failed = true;
+    result.original = first_failure->trace;
+    result.verdict = first_failure->verdict;
+    if (log) {
+      std::ostringstream out;
+      out << "FAIL oracle=" << result.original.oracle << " trace-seed=" << result.original.seed
+          << " " << result.verdict.detail;
+      log(out.str());
+    }
+    if (opts.shrink) {
+      WorldPool shrink_pool(FuzzMonitorConfig(), opts.reuse_worlds);
+      result.witness = ShrinkTrace(
+          result.original, [&](const Trace& c) { return RunTrace(c, true, &shrink_pool); },
+          &result.shrink);
+      if (log) {
+        std::ostringstream out;
+        out << "shrunk " << result.shrink.ops_before << " -> " << result.shrink.ops_after
+            << " ops (" << result.witness.CallCount() << " calls, "
+            << result.shrink.evaluations << " oracle runs)";
+        log(out.str());
+      }
+    } else {
+      result.witness = result.original;
+    }
+  }
+
+  result.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
   return result;
 }
 

@@ -1,9 +1,20 @@
-// Fuzzing campaign driver (DESIGN.md §10): generates traces from a master
-// seed, runs each through its oracle, and stops at the first failure with
-// both the original and the shrunk witness. Everything is a deterministic
-// function of the options, pinned by a running SHA-256 over every generated
-// trace and verdict — two campaigns with the same options produce the same
-// hash or something is nondeterministic.
+// Fuzzing campaign driver (DESIGN.md §10, §11): generates traces from a
+// master seed, runs each through its oracle, and reports the canonically
+// first failure with both the original and the shrunk witness.
+//
+// Work is split into `shards` deterministically seeded shards per oracle
+// ((seed, shard) -> an independent trace-seed stream), executed by `jobs`
+// worker threads each owning a snapshot-reset WorldPool. Every shard keeps
+// its own SHA-256 over the traces it generated and the verdicts it saw; the
+// campaign hash folds the per-shard digests in canonical (oracle, shard)
+// order, so it is byte-identical for any `jobs` — including jobs=1 — and
+// changes only with the options that define the work (seed, calls,
+// trace_len, oracle set, inject, shards). Timing never enters the hash.
+//
+// A failing shard stops at its first failure; all other shards still run to
+// completion, so the hash stays a pure function of the options. The reported
+// failure is the canonically first one (lowest oracle, then shard, then
+// trace index), not whichever worker happened to hit one first.
 #ifndef SRC_FUZZ_CAMPAIGN_H_
 #define SRC_FUZZ_CAMPAIGN_H_
 
@@ -24,28 +35,50 @@ struct CampaignOptions {
   size_t trace_len = 150;        // ops per generated trace
   std::vector<std::string> oracles;  // empty = all four
   std::string inject;            // fault injection applied to every trace
-  bool shrink = true;            // minimize the first failure
+  bool shrink = true;            // minimize the canonically first failure
+  int jobs = 1;                  // worker threads; <= 0 = hardware concurrency
+  uint32_t shards = 16;          // work split per oracle; part of the hash domain
+  bool reuse_worlds = true;      // snapshot-reset world pooling (perf only)
 };
 
 struct OracleStats {
   std::string oracle;
   uint64_t traces = 0;
   uint64_t calls = 0;    // monitor calls executed (pokes excluded)
-  double seconds = 0.0;  // wall clock (informational; not part of the hash)
+  // Timing is informational and never part of the campaign hash:
+  // `seconds` is wall clock from campaign start until the oracle's last
+  // shard completed (shards of different oracles interleave under
+  // parallelism, so per-oracle wall times overlap and do not sum to the
+  // campaign wall time); `cpu_seconds` is the summed per-shard thread CPU
+  // time, the comparable "work done" figure at any jobs count.
+  double seconds = 0.0;
+  double cpu_seconds = 0.0;
 };
 
 struct CampaignResult {
   bool failed = false;
-  Trace original;       // the failing trace as generated (valid iff failed)
+  Trace original;       // the canonically first failing trace (valid iff failed)
   Trace witness;        // the shrunk reproducer (== original if !shrink)
   Verdict verdict;      // of the original failure
   ShrinkStats shrink;   // filled when a failure was minimized
-  std::string hash;     // SHA-256 over all traces + verdicts (determinism pin)
+  std::string hash;     // SHA-256 folding all per-shard digests (determinism pin)
   std::vector<OracleStats> stats;
+  double wall_seconds = 0.0;      // whole-campaign wall clock (not hashed)
+  // World-pool effectiveness across all workers (not hashed).
+  uint64_t worlds_built = 0;      // fresh World constructions
+  uint64_t worlds_reused = 0;     // snapshot-resets of a pooled world
+  uint64_t pages_restored = 0;    // dirty pages rewritten by those resets
 };
 
+// The k-th trace seed of shard `shard` under master seed `seed`: shard
+// streams are splitmix64-decorrelated so neighbouring master seeds and
+// neighbouring shards share no traces. Exposed so tests and tools can
+// regenerate any shard's stream without a campaign.
+uint64_t ShardTraceSeed(uint64_t seed, uint32_t shard, uint64_t k);
+
 // Runs the campaign. `log`, when given, receives one progress line per
-// completed oracle and on failure.
+// completed oracle and on failure; it is only ever invoked from the calling
+// thread.
 CampaignResult RunCampaign(const CampaignOptions& opts,
                            const std::function<void(const std::string&)>& log = {});
 

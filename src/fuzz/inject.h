@@ -37,9 +37,13 @@ struct InjectFlags {
   bool stale_decode = false;
 };
 
-// The process-wide flag set (C++17 inline variable: one instance across all
-// translation units, zero-initialised, no registration needed).
-inline InjectFlags g_inject_flags;
+// The flag set (C++17 inline variable: one instance per thread across all
+// translation units, zero-initialised, no registration needed). Thread-local
+// because the parallel campaign driver (DESIGN.md §11) arms an injection per
+// oracle run on each worker; the monitor/interpreter code consulting the
+// flags always runs on the thread that armed them, and workers must not see
+// each other's (or the main thread's) injections.
+inline thread_local InjectFlags g_inject_flags;
 
 inline InjectFlags& Inject() { return g_inject_flags; }
 

@@ -6,6 +6,7 @@
 #include "src/core/kom_defs.h"
 #include "src/fuzz/generator.h"
 #include "src/fuzz/inject.h"
+#include "src/fuzz/pool.h"
 #include "src/os/world.h"
 #include "src/spec/equivalence.h"
 #include "src/spec/extract.h"
@@ -15,14 +16,6 @@
 namespace komodo::fuzz {
 
 namespace {
-
-// Bounds every enclave dispatch so victim spin loops and accidentally-built
-// runaway enclaves interrupt quickly instead of burning the 50M-step default.
-Monitor::Config FuzzConfig() {
-  Monitor::Config cfg;
-  cfg.max_enclave_steps = 4000;
-  return cfg;
-}
 
 Verdict Fail(int op, std::string detail) { return Verdict{true, op, std::move(detail)}; }
 
@@ -106,8 +99,9 @@ std::vector<word> DriverProgram() {
 
 // One replay loop serves both spec-backed oracles: with `with_spec` it is the
 // full bisimulation, without it only the PageDB invariants are checked.
-Verdict RunSpecBacked(const Trace& t, bool with_spec) {
-  os::World w(t.pages, FuzzConfig());
+Verdict RunSpecBacked(const Trace& t, bool with_spec, WorldPool& pool) {
+  WorldPool::Lease lease = pool.Acquire(t.pages);
+  os::World& w = lease.world();
 
   bool needs_driver = false;
   for (const TraceOp& op : t.ops) {
@@ -254,12 +248,14 @@ Verdict RunSpecBacked(const Trace& t, bool with_spec) {
 
 // --- noninterference -----------------------------------------------------------
 
-Verdict RunNoninterference(const Trace& t) {
+Verdict RunNoninterference(const Trace& t, WorldPool& pool) {
   if (t.victim.empty()) {
     return Fail(-1, "harness: noninterference trace needs a victim");
   }
-  os::World w1(t.pages, FuzzConfig());
-  os::World w2(t.pages, FuzzConfig());
+  WorldPool::Lease lease1 = pool.Acquire(t.pages);
+  WorldPool::Lease lease2 = pool.Acquire(t.pages);
+  os::World& w1 = lease1.world();
+  os::World& w2 = lease2.world();
   os::EnclaveHandle v1, v2;
   std::string why;
   if (!BuildVictim(w1, t.victim, &v1, &why) || !BuildVictim(w2, t.victim, &v2, &why)) {
@@ -314,9 +310,11 @@ Verdict RunNoninterference(const Trace& t) {
 
 // --- interp (cached vs uncached) ------------------------------------------------
 
-Verdict RunInterp(const Trace& t) {
-  os::World wc(t.pages, FuzzConfig());
-  os::World wu(t.pages, FuzzConfig());
+Verdict RunInterp(const Trace& t, WorldPool& pool) {
+  WorldPool::Lease lease_c = pool.Acquire(t.pages);
+  WorldPool::Lease lease_u = pool.Acquire(t.pages);
+  os::World& wc = lease_c.world();
+  os::World& wu = lease_u.world();
   wc.machine.interp.set_enabled(true);
   wu.machine.interp.set_enabled(false);
   os::EnclaveHandle vc, vu;
@@ -414,23 +412,27 @@ std::vector<std::string> MachineDiff(const arm::MachineState& a, const arm::Mach
   return v;
 }
 
-Verdict RunTrace(const Trace& t, bool apply_inject) {
+Verdict RunTrace(const Trace& t, bool apply_inject, WorldPool* pool) {
+  // One-shot callers get a throwaway pool, which degenerates to the old
+  // construct-per-run behaviour (every Acquire builds a fresh world).
+  WorldPool local_pool;
+  WorldPool& p = pool != nullptr ? *pool : local_pool;
   const std::string inject = apply_inject ? t.inject : std::string();
   ScopedInject scoped(inject);
   if (!inject.empty() && !SetInjectByName(inject)) {
     return Fail(-1, "harness: unknown injection '" + inject + "'");
   }
   if (t.oracle == "refinement") {
-    return RunSpecBacked(t, /*with_spec=*/true);
+    return RunSpecBacked(t, /*with_spec=*/true, p);
   }
   if (t.oracle == "invariants") {
-    return RunSpecBacked(t, /*with_spec=*/false);
+    return RunSpecBacked(t, /*with_spec=*/false, p);
   }
   if (t.oracle == "noninterference") {
-    return RunNoninterference(t);
+    return RunNoninterference(t, p);
   }
   if (t.oracle == "interp") {
-    return RunInterp(t);
+    return RunInterp(t, p);
   }
   return Fail(-1, "harness: unknown oracle '" + t.oracle + "'");
 }

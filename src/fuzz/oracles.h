@@ -27,6 +27,8 @@
 
 namespace komodo::fuzz {
 
+class WorldPool;
+
 struct Verdict {
   bool failed = false;
   int failing_op = -1;  // index into trace.ops; -1 = setup/harness failure
@@ -37,7 +39,12 @@ struct Verdict {
 // trace's fault injection is armed for the duration of the run; passing false
 // replays the same trace against the unbroken monitor (corpus tests use this
 // to prove a witness fails *because of* its injection).
-Verdict RunTrace(const Trace& t, bool apply_inject = true);
+//
+// `pool`, when given, supplies the oracle's world(s) via snapshot-reset
+// reuse (DESIGN.md §11) instead of fresh construction; the verdict is
+// identical either way. The campaign driver and the shrinker pass their
+// per-thread pool; one-shot replays can leave it null.
+Verdict RunTrace(const Trace& t, bool apply_inject = true, WorldPool* pool = nullptr);
 
 // Full architectural-state comparison (the non-gtest form of the interp-diff
 // suite's ExpectSameState): registers, banked state, CPSR/SPSRs, system

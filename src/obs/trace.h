@@ -19,8 +19,15 @@
 //
 // Activation: construct-time from the environment (KOMODO_TRACE=on|1|true,
 // ring capacity via KOMODO_TRACE_BUF), or programmatically via Enable().
-// Each Monitor owns one Observability instance — concurrent Worlds (the
-// multithread suite) trace independently.
+//
+// Threading model: thread-confined, not thread-safe. Each Monitor owns one
+// Observability instance, and counters/ring buffer are plain (unsynchronized)
+// state — the guarantee is that an instance is only ever touched by the
+// thread running its Monitor. Concurrent Worlds (the multithread suite, the
+// parallel fuzz campaign's per-worker WorldPools) therefore trace
+// independently with zero contention; sharing one instance across threads is
+// a data race by contract. TSan (KOMODO_SANITIZE=thread) enforces this in
+// scripts/check.sh's parallel fuzz leg.
 #ifndef SRC_OBS_TRACE_H_
 #define SRC_OBS_TRACE_H_
 

@@ -7,10 +7,16 @@ namespace komodo::os {
 using arm::Mode;
 
 Os::Os(arm::MachineState& m, Monitor& monitor)
-    : machine_(m), monitor_(monitor), next_insecure_page_(16) {
+    : machine_(m), monitor_(monitor) {
+  ResetForReuse();
+}
+
+void Os::ResetForReuse() {
+  next_insecure_page_ = 16;
   // Free-list is kept so pages are handed out in ascending order (the
   // monitor doesn't care; tests like stable numbering).
-  const word npages = m.mem.nsecure_pages();
+  const word npages = machine_.mem.nsecure_pages();
+  free_secure_.clear();
   for (PageNr n = 0; n < npages; ++n) {
     free_secure_.push_back(npages - 1 - n);
   }

@@ -41,6 +41,12 @@ class Os {
  public:
   Os(arm::MachineState& m, Monitor& monitor);
 
+  // Restores the OS model's own bookkeeping (secure-page free list,
+  // insecure-page bump allocator) to its freshly constructed state. Paired
+  // with MachineState::ResetTo + Monitor::ResetForReuse when a world is
+  // recycled between fuzz traces.
+  void ResetForReuse();
+
   // Issues an SMC: stages the call in r0-r4, traps to monitor mode, runs the
   // monitor, and reads back r0/r1 — the kernel-driver path.
   SmcRet Smc(word call, word a1 = 0, word a2 = 0, word a3 = 0, word a4 = 0);

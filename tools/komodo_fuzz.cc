@@ -5,14 +5,19 @@
 // noninterference, interp). On failure it shrinks the trace to a minimal
 // reproducer and writes it as a small text file for tests/corpus/.
 //
-// Determinism contract: stdout is a pure function of the flags — timing and
-// progress go to stderr. `komodo-fuzz --seed N ... | sha256sum` twice gives
-// identical bytes, and the campaign-hash line pins every generated trace and
-// verdict (scripts/check.sh runs the smoke leg twice and compares).
+// Determinism contract: stdout is a pure function of the flags *except
+// --jobs and --no-reuse* (which only change how fast the same work runs) —
+// timing and progress go to stderr. `komodo-fuzz --seed N ... | sha256sum`
+// twice gives identical bytes, `--jobs 1` and `--jobs 8` give identical
+// bytes, and the campaign-hash line pins every generated trace and verdict
+// in canonical shard order (scripts/check.sh compares serial vs parallel).
+// --shards IS part of the hash domain: it defines how the trace stream is
+// split into independently seeded substreams.
 //
 // Usage:
 //   komodo-fuzz [--seed N] [--calls N] [--oracle all|<name>] [--trace-len N]
 //               [--inject <name>] [--no-shrink] [--out DIR]
+//               [--jobs N] [--shards N] [--no-reuse]
 //   komodo-fuzz --replay FILE [--no-inject]
 //
 // Exit codes: 0 = no failure, 1 = oracle failure (witness written/printed),
@@ -43,6 +48,7 @@ int Usage() {
                "usage: komodo-fuzz [--seed N] [--calls N] [--oracle all|refinement|"
                "invariants|noninterference|interp]\n"
                "                   [--trace-len N] [--inject NAME] [--no-shrink] [--out DIR]\n"
+               "                   [--jobs N] [--shards N] [--no-reuse]\n"
                "       komodo-fuzz --replay FILE [--no-inject]\n");
   return 2;
 }
@@ -108,6 +114,20 @@ int main(int argc, char** argv) {
       komodo::fuzz::SetInjectByName("none");
     } else if (arg == "--no-shrink") {
       opts.shrink = false;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      opts.jobs = static_cast<int>(std::strtol(v, nullptr, 0));
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      opts.shards = static_cast<uint32_t>(std::strtoul(v, nullptr, 0));
+      if (opts.shards == 0) {
+        std::fprintf(stderr, "komodo-fuzz: --shards must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--no-reuse") {
+      opts.reuse_worlds = false;
     } else if (arg == "--out") {
       const char* v = next();
       if (v == nullptr) return Usage();
