@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Pre-merge gate: tier-1 build + tests, ASan+UBSan and TSan builds of the
-# fuzz path, and the komodo-lint static analysis of every shipped enclave
-# program. Any failure — including a single lint finding — fails the script.
+# fuzz path, the komodo-lint static analysis of every shipped enclave
+# program, and the komodo-verify exhaustive small-world closure at its
+# pinned hash. Any failure — including a single lint finding — fails the
+# script.
 #
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
@@ -25,39 +27,57 @@ for arg in "$@"; do
   esac
 done
 
-echo "=== [1/9] tier-1: configure + build ==="
+echo "=== [1/10] tier-1: configure + build ==="
 cmake -B build -S . $(generator_for build) -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "=== [2/9] tier-1: ctest ==="
+echo "=== [2/10] tier-1: ctest ==="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [3/9] tier-1: ctest with interpreter caches disabled ==="
+echo "=== [3/10] tier-1: ctest with interpreter caches disabled ==="
 # The fast-path caches (DESIGN.md §8) must be architecturally invisible;
 # the whole suite has to pass with them off as well.
 KOMODO_INTERP_CACHE=off ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [4/9] tier-1: ctest with tracing enabled ==="
+echo "=== [4/10] tier-1: ctest with tracing enabled ==="
 # The tracer (DESIGN.md §9) must be architecturally invisible too: the whole
 # suite — including the cycle-regression test — has to pass with every
 # monitor tracing into a live ring buffer.
 KOMODO_TRACE=on ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [5/9] bench smoke (cached/uncached invisibility check) ==="
+echo "=== [5/10] bench smoke (cached/uncached invisibility check) ==="
 ctest --test-dir build -L bench-smoke --output-on-failure
 
-echo "=== [6/9] bench/trace JSON artifacts validate ==="
+echo "=== [6/10] bench/trace JSON artifacts validate ==="
 # The bench-smoke runs above emitted komodo-bench-v1 / komodo-metrics-v1 /
 # chrome-trace artifacts into build/bench; a drifting emitter fails here.
 ./build/tools/komodo-benchjson build/bench/BENCH_*.json \
   build/bench/METRICS_fig5_notary.json
 ./build/tools/komodo-benchjson --schema chrome build/bench/TRACE_fig5_notary.json
 
-echo "=== [7/9] komodo-lint: shipped programs + fixtures ==="
+echo "=== [7/10] komodo-lint: shipped programs + fixtures ==="
 ./build/tools/komodo-lint --check-shipped
 ./build/tools/komodo-lint --check-fixtures
 
-echo "=== [8/9] komodo-fuzz smoke (fixed seed, all oracles, determinism) ==="
+echo "=== [8/10] komodo-verify: exhaustive small-world closure ==="
+# The model checker (DESIGN.md §12) must close the default small world with
+# all three obligations holding, byte-identically across runs, and at the
+# pinned closure hash — any drift in the PageDb serialization, the symmetry
+# quotient, or a spec guard shows up here before it reaches a reviewer.
+# Re-pin the hash (and the EXPERIMENTS.md table) when a change to the spec
+# or canon serialization is *intended*.
+VERIFY_CLOSURE_HASH=99065585178cb71f885bfa8ba99bf856dc77b6245624a671f044a030b2640e31
+./build/tools/komodo-verify --world small \
+  --bench-out build/bench/BENCH_verify.json 2>/dev/null > build/verify-small-1.out
+./build/tools/komodo-verify --world small 2>/dev/null > build/verify-small-2.out
+cmp <(grep -v -e '^wrote ' -e '^$' build/verify-small-1.out) \
+    <(grep -v '^$' build/verify-small-2.out) \
+  || { echo "komodo-verify: nondeterministic exploration output" >&2; exit 1; }
+grep -q "^closure-hash ${VERIFY_CLOSURE_HASH}\$" build/verify-small-1.out \
+  || { echo "komodo-verify: closure hash drifted from the pinned value" >&2; exit 1; }
+./build/tools/komodo-benchjson build/bench/BENCH_verify.json
+
+echo "=== [9/10] komodo-fuzz smoke (fixed seed, all oracles, determinism) ==="
 # A short fixed-seed campaign per oracle (DESIGN.md §10). Run twice; stdout —
 # including the campaign-hash over every generated trace and verdict — must be
 # byte-identical, or the fuzzer has lost replayability.
@@ -68,7 +88,7 @@ cmp build/fuzz-smoke-1.out build/fuzz-smoke-2.out \
   || { echo "komodo-fuzz: nondeterministic campaign output" >&2; exit 1; }
 grep "^campaign-hash " build/fuzz-smoke-1.out
 
-echo "=== [9/9] komodo-fuzz parallel determinism (--jobs 1 vs --jobs 8) ==="
+echo "=== [10/10] komodo-fuzz parallel determinism (--jobs 1 vs --jobs 8) ==="
 # The sharded campaign hash (DESIGN.md §11) is defined to be independent of
 # the worker count; serial and 8-way stdout must be byte-identical.
 ./build/tools/komodo-fuzz "${FUZZ_ARGS[@]}" --jobs 8 2>/dev/null \
@@ -88,6 +108,14 @@ else
   ./build-asan/tools/komodo-fuzz --seed 20260807 --calls 150 --trace-len 40 \
     --out build-asan >/dev/null
 
+  echo "=== ASan+UBSan komodo-verify small-world closure ==="
+  # The instrumented build must reach the same closure: a hash mismatch here
+  # means the exploration depends on memory it shouldn't be reading.
+  ./build-asan/tools/komodo-verify --world small 2>/dev/null \
+    > build-asan/verify-small.out
+  grep -q "^closure-hash ${VERIFY_CLOSURE_HASH}\$" build-asan/verify-small.out \
+    || { echo "komodo-verify: ASan closure hash differs from plain build" >&2; exit 1; }
+
   echo "=== TSan komodo-fuzz parallel smoke ==="
   # Thread sanitizer over the parallel campaign: per-worker world pools,
   # thread-local inject flags and the outcome-slot handoff must all be
@@ -106,9 +134,9 @@ fi
 
 # clang-tidy is optional: the reference container only ships gcc.
 if command -v clang-tidy >/dev/null 2>&1 && [[ -f build/compile_commands.json ]]; then
-  echo "=== extra: clang-tidy (src/core src/spec src/analysis) ==="
+  echo "=== extra: clang-tidy (src/core src/spec src/analysis src/verify) ==="
   clang-tidy -p build --quiet \
-    src/core/*.cc src/spec/*.cc src/analysis/*.cc
+    src/core/*.cc src/spec/*.cc src/analysis/*.cc src/verify/*.cc
 else
   echo "=== extra: clang-tidy not found; skipping (config: .clang-tidy) ==="
 fi

@@ -97,8 +97,16 @@ class Interp {
     std::deque<size_t> worklist = {0};
     std::vector<bool> queued(cfg_.blocks.size(), false);
     queued[0] = true;
-    // Safety valve: the lattice is finite, but cap the fixpoint anyway so a
-    // domain bug cannot hang the lint.
+    // Plain joins already collapse a changing register or cell to Unknown in
+    // one step (the constant lattice has height 2), but a loop that walks a
+    // chain of tracked cells still ascends one cell per pass — the number of
+    // fixpoint iterations grows with the number of tracked addresses, not
+    // with the CFG. After a block's in-state has been re-joined this many
+    // times, switch to WidenStates, which abstracts the whole store to its
+    // region defaults so the remaining ascent is bounded by the registers.
+    std::vector<uint32_t> joins(cfg_.blocks.size(), 0);
+    // Safety valve: the lattice is finite and widening bounds the ascent, but
+    // cap the fixpoint anyway so a domain bug cannot hang the lint.
     size_t budget = 64 * cfg_.blocks.size() + 1024;
     while (!worklist.empty()) {
       assert(budget > 0 && "taint fixpoint failed to converge");
@@ -111,7 +119,13 @@ class Interp {
       queued[b] = false;
       const AbsState out = TransferBlock(result.block_in[b], cfg_.blocks[b], nullptr);
       for (const size_t succ : cfg_.blocks[b].successors) {
-        const AbsState joined = JoinStates(result.block_in[succ], out);
+        AbsState joined = JoinStates(result.block_in[succ], out);
+        if (!(joined == result.block_in[succ])) {
+          if (++joins[succ] > kWidenAfterJoins) {
+            joined = WidenStates(result.block_in[succ], joined);
+            ++result.widened_joins;
+          }
+        }
         if (!(joined == result.block_in[succ])) {
           result.block_in[succ] = joined;
           if (!queued[succ]) {
@@ -178,6 +192,37 @@ class Interp {
     for (auto& [addr, cell] : s.store) {
       cell = Join(cell, value);
     }
+  }
+
+  // Joins tolerated on one block's in-state before the fixpoint widens.
+  // High enough that every shipped enclave program converges without it
+  // (their loop heads stabilize in a handful of joins), low enough that a
+  // cell-cascade loop cannot burn the budget one tracked address at a time.
+  static constexpr uint32_t kWidenAfterJoins = 12;
+
+  // Widening operator: an upper bound of `joined` (which must itself be an
+  // upper bound of the previous in-state `old`) chosen so repeated
+  // application terminates quickly. Registers that are still moving lose
+  // constant knowledge but keep their joined taint; the store is abstracted
+  // to its region defaults — a cell may never report *lower* taint than its
+  // region default would, and a cell equal to its default is dropped from the
+  // map, so the widened store is a fixed ceiling no later pass can raise.
+  AbsState WidenStates(const AbsState& old, const AbsState& joined) const {
+    AbsState out;
+    out.valid = true;
+    for (int i = 0; i < 16; ++i) {
+      out.regs[i] = old.regs[i] == joined.regs[i]
+                        ? joined.regs[i]
+                        : AbsVal::Unknown(joined.regs[i].taint);
+    }
+    out.flags = joined.flags;
+    for (const auto& [addr, cell] : joined.store) {
+      const AbsVal ceiling = Join(cell, DefaultAt(addr));
+      if (!(ceiling == DefaultAt(addr))) {
+        out.store.emplace(addr, ceiling);
+      }
+    }
+    return out;
   }
 
   AbsState JoinStates(const AbsState& a, const AbsState& b) const {

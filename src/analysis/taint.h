@@ -36,6 +36,9 @@ struct TaintResult {
   // Fixpoint in-state of every basic block (block_in[i].valid == false means
   // the block is unreachable from the entry). Exposed for tests.
   std::vector<AbsState> block_in;
+  // Number of joins the fixpoint replaced with a widening step (see
+  // taint.cc); zero for programs whose loops converge on their own.
+  size_t widened_joins = 0;
 };
 
 TaintResult RunTaintPass(const Cfg& cfg, const TaintOptions& options = TaintOptions::Default());

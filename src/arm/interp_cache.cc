@@ -36,6 +36,7 @@ const Instruction* InterpCaches::FillDecode(const PhysMemory& mem, paddr phys,
   ++stats_.decode_misses;
   const std::optional<Instruction> decoded = Decode(mem.Read(phys));
   e.addr = phys;
+  e.epoch = decode_epoch_;
   e.gen_idx = mem.PageIndexOf(phys);
   e.gen = mem.PageGenAt(e.gen_idx);
   e.decode_ok = decoded.has_value();
@@ -52,6 +53,7 @@ WalkResult InterpCaches::FillTlb(const PhysMemory& mem, paddr ttbr0, vaddr va,
   const WalkResult res = WalkPageTable(mem, ttbr0, va, &trace);
   if (res.ok) {
     e.vpn = va >> 12;
+    e.epoch = tlb_epoch_;
     e.ttbr0 = ttbr0;
     e.l1_gen_idx = mem.PageIndexOf(trace.l1_entry_addr);
     e.l2_gen_idx = mem.PageIndexOf(trace.l2_entry_addr);
@@ -109,17 +111,13 @@ bool InterpCaches::FootprintContains(paddr addr) const {
 }
 
 void InterpCaches::InvalidateTlb() {
-  for (TlbEntry& e : tlb_) {
-    e = TlbEntry{};
-  }
+  ++tlb_epoch_;
   footprint_.valid = false;
 }
 
 void InterpCaches::InvalidateAll() {
   InvalidateTlb();
-  for (DecodeEntry& e : decode_) {
-    e = DecodeEntry{};
-  }
+  ++decode_epoch_;
 }
 
 }  // namespace komodo::arm

@@ -76,7 +76,9 @@ class InterpCaches {
     // The generation check is what keeps the cache coherent with stores into
     // code pages; the fuzz harness can disable it (stale-decode injection) to
     // prove the cached-vs-uncached oracle catches the resulting divergence.
-    if (e.addr == phys &&
+    // The epoch check is explicit invalidation (set_enabled / InvalidateAll),
+    // not coherence, so the injection deliberately cannot bypass it.
+    if (e.addr == phys && e.epoch == decode_epoch_ &&
         (mem.PageGenAt(e.gen_idx) == e.gen || fuzz::Inject().stale_decode)) {
       ++stats_.decode_hits;
       return e.decode_ok ? &e.insn : nullptr;
@@ -89,7 +91,8 @@ class InterpCaches {
   WalkResult TlbWalk(const PhysMemory& mem, paddr ttbr0, vaddr va) {
     const vaddr vpn = va >> 12;
     TlbEntry& e = tlb_[vpn & (kTlbEntries - 1)];
-    if (e.vpn == vpn && e.ttbr0 == ttbr0 && mem.PageGenAt(e.l1_gen_idx) == e.l1_gen &&
+    if (e.vpn == vpn && e.ttbr0 == ttbr0 && e.epoch == tlb_epoch_ &&
+        mem.PageGenAt(e.l1_gen_idx) == e.l1_gen &&
         mem.PageGenAt(e.l2_gen_idx) == e.l2_gen) {
       ++stats_.tlb_hits;
       WalkResult res;
@@ -123,6 +126,7 @@ class InterpCaches {
  private:
   struct DecodeEntry {
     paddr addr = kNoTag;    // exact physical word address; kNoTag = empty
+    uint64_t epoch = 0;     // valid only when equal to decode_epoch_
     uint32_t gen = 0;       // backing page generation at decode time
     size_t gen_idx = PhysMemory::kNoPage;  // its index in the gen array
     bool decode_ok = false;
@@ -131,6 +135,7 @@ class InterpCaches {
 
   struct TlbEntry {
     vaddr vpn = kNoTag;  // va >> 12; kNoTag = empty
+    uint64_t epoch = 0;  // valid only when equal to tlb_epoch_
     paddr ttbr0 = 0;
     // Pages whose contents the walk read (as generation-array indices), with
     // their generations at fill time; a mismatch on either means the
@@ -164,6 +169,13 @@ class InterpCaches {
   bool FootprintContains(paddr addr) const;
 
   bool enabled_;
+  // Invalidation is O(1): entries carry the epoch they were filled under and
+  // a bumped epoch orphans them all at once. The model checker and the fuzz
+  // pool reset the machine (which invalidates) once or twice per probed
+  // transition, so wiping the 4096-entry decode array each time dominated
+  // their runtime before this.
+  uint64_t decode_epoch_ = 1;
+  uint64_t tlb_epoch_ = 1;
   std::vector<DecodeEntry> decode_;
   std::vector<TlbEntry> tlb_;
   PtFootprint footprint_;

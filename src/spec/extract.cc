@@ -1,6 +1,9 @@
 #include "src/spec/extract.h"
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
 
 #include "src/arm/page_table.h"
 #include "src/core/pagedb.h"
@@ -22,120 +25,190 @@ word ReadPageWord(const arm::MachineState& m, PageNr page, word word_offset) {
   return m.mem.Read(PagePaddr(page) + word_offset * arm::kWordSize);
 }
 
-// Maps a physical address inside the secure region back to its page number.
-PageNr SecurePageNrOf(paddr addr) {
-  assert(addr >= arm::kSecurePagesBase);
-  return (addr - arm::kSecurePagesBase) / arm::kPageSize;
+std::string HexWord(word w) {
+  std::ostringstream out;
+  out << "0x" << std::hex << w;
+  return out.str();
 }
 
-AddrspacePage ExtractAddrspace(const arm::MachineState& m, PageNr page) {
+// Decode context: carries the machine, the world size and the first
+// structural failure. Every helper bails out cheaply once an error is
+// recorded; the caller checks `failed` after each page.
+struct Extraction {
+  const arm::MachineState& m;
+  word npages;
+  bool failed = false;
+  ExtractError err;
+
+  void Fail(PageNr page, std::string detail) {
+    if (!failed) {
+      failed = true;
+      err = ExtractError{page, std::move(detail)};
+    }
+  }
+
+  // Maps a physical address inside the secure region back to its page number;
+  // fails if the address lies outside the world's secure pages.
+  bool SecurePageNrOf(paddr addr, PageNr decoding, const char* what, PageNr* out) {
+    if (addr < arm::kSecurePagesBase ||
+        addr >= arm::kSecurePagesBase + static_cast<paddr>(npages) * arm::kPageSize) {
+      Fail(decoding, std::string(what) + " target " + HexWord(addr) +
+                         " lies outside the secure region");
+      return false;
+    }
+    *out = (addr - arm::kSecurePagesBase) / arm::kPageSize;
+    return true;
+  }
+};
+
+AddrspacePage ExtractAddrspace(const Extraction& x, PageNr page) {
   AddrspacePage as;
-  as.l1pt_page = ReadPageWord(m, page, kAsL1PtPage);
-  as.refcount = ReadPageWord(m, page, kAsRefcount);
-  as.state = static_cast<AddrspaceState>(ReadPageWord(m, page, kAsState));
+  as.l1pt_page = ReadPageWord(x.m, page, kAsL1PtPage);
+  as.refcount = ReadPageWord(x.m, page, kAsRefcount);
+  as.state = static_cast<AddrspaceState>(ReadPageWord(x.m, page, kAsState));
   for (word i = 0; i < 8; ++i) {
-    as.measurement[i] = ReadPageWord(m, page, kAsMeasurementDigest + i);
+    as.measurement[i] = ReadPageWord(x.m, page, kAsMeasurementDigest + i);
   }
   for (word i = 0; i < crypto::Sha256::kExportWords; ++i) {
-    as.measurement_stream[i] = ReadPageWord(m, page, kAsMeasurementStream + i);
+    as.measurement_stream[i] = ReadPageWord(x.m, page, kAsMeasurementStream + i);
   }
   return as;
 }
 
-DispatcherPage ExtractDispatcher(const arm::MachineState& m, PageNr page) {
+DispatcherPage ExtractDispatcher(const Extraction& x, PageNr page) {
   DispatcherPage disp;
-  disp.entered = ReadPageWord(m, page, kDispEntered) != 0;
-  disp.entrypoint = ReadPageWord(m, page, kDispEntrypoint);
+  disp.entered = ReadPageWord(x.m, page, kDispEntered) != 0;
+  disp.entrypoint = ReadPageWord(x.m, page, kDispEntrypoint);
   for (word i = 0; i < 13; ++i) {
-    disp.regs[i] = ReadPageWord(m, page, kDispSavedRegs + i);
+    disp.regs[i] = ReadPageWord(x.m, page, kDispSavedRegs + i);
   }
-  disp.sp = ReadPageWord(m, page, kDispSavedSp);
-  disp.lr = ReadPageWord(m, page, kDispSavedLr);
-  disp.pc = ReadPageWord(m, page, kDispSavedPc);
-  disp.psr = ReadPageWord(m, page, kDispSavedPsr);
+  disp.sp = ReadPageWord(x.m, page, kDispSavedSp);
+  disp.lr = ReadPageWord(x.m, page, kDispSavedLr);
+  disp.pc = ReadPageWord(x.m, page, kDispSavedPc);
+  disp.psr = ReadPageWord(x.m, page, kDispSavedPsr);
   return disp;
 }
 
-L1PTablePage ExtractL1PTable(const arm::MachineState& m, PageNr page) {
+L1PTablePage ExtractL1PTable(Extraction& x, PageNr page) {
   L1PTablePage l1;
   for (word group = 0; group < 256; ++group) {
     // The four hardware descriptors of one group must agree: either all
     // faults, or the four quarters of one L2PTable page.
-    const word desc0 = m.mem.Read(PagePaddr(page) + group * 4 * arm::kWordSize);
+    const word desc0 = x.m.mem.Read(PagePaddr(page) + group * 4 * arm::kWordSize);
     if (desc0 == arm::kL1FaultDesc) {
       continue;
     }
-    assert(arm::IsL1PageTableDesc(desc0));
+    if (!arm::IsL1PageTableDesc(desc0)) {
+      x.Fail(page, "L1 slot " + std::to_string(group) + ": descriptor " + HexWord(desc0) +
+                       " is neither fault nor page-table");
+      return l1;
+    }
     const paddr base = arm::L1DescTableBase(desc0);
-    assert(arm::IsPageAligned(base));
-    l1.l2_tables[group] = SecurePageNrOf(base);
+    if (!arm::IsPageAligned(base)) {
+      x.Fail(page, "L1 slot " + std::to_string(group) + ": table base " + HexWord(base) +
+                       " is not page-aligned");
+      return l1;
+    }
+    PageNr l2 = kInvalidPage;
+    if (!x.SecurePageNrOf(base, page, "L1 descriptor", &l2)) {
+      return l1;
+    }
+    l1.l2_tables[group] = l2;
   }
   return l1;
 }
 
-L2PTablePage ExtractL2PTable(const arm::MachineState& m, PageNr page) {
+L2PTablePage ExtractL2PTable(Extraction& x, PageNr page) {
   L2PTablePage l2;
   for (word i = 0; i < 1024; ++i) {
-    const word desc = m.mem.Read(PagePaddr(page) + i * arm::kWordSize);
+    const word desc = x.m.mem.Read(PagePaddr(page) + i * arm::kWordSize);
     if (desc == arm::kL2FaultDesc) {
       continue;
     }
-    assert(arm::IsL2SmallPageDesc(desc));
+    if (!arm::IsL2SmallPageDesc(desc)) {
+      x.Fail(page, "L2 slot " + std::to_string(i) + ": descriptor " + HexWord(desc) +
+                       " is neither fault nor small-page");
+      return l2;
+    }
     const arm::L2Perms perms = arm::L2DescPerms(desc);
     const paddr base = arm::L2DescPageBase(desc);
     if (perms.ns) {
       l2.entries[i] = InsecureMapping{base / arm::kPageSize, perms.user_write};
     } else {
-      l2.entries[i] = SecureMapping{SecurePageNrOf(base), perms.user_write, perms.executable};
+      PageNr data = kInvalidPage;
+      if (!x.SecurePageNrOf(base, page, "L2 descriptor", &data)) {
+        return l2;
+      }
+      l2.entries[i] = SecureMapping{data, perms.user_write, perms.executable};
     }
   }
   return l2;
 }
 
-DataPage ExtractData(const arm::MachineState& m, PageNr page) {
+DataPage ExtractData(const Extraction& x, PageNr page) {
   DataPage data;
   for (word i = 0; i < arm::kWordsPerPage; ++i) {
-    data.contents[i] = ReadPageWord(m, page, i);
+    data.contents[i] = ReadPageWord(x.m, page, i);
   }
   return data;
 }
 
 }  // namespace
 
-PageDb ExtractPageDb(const arm::MachineState& m) {
-  const word npages = ReadGlobal(m, kGlobalNPages);
-  PageDb d(npages);
-  for (PageNr n = 0; n < npages; ++n) {
-    const PageType type = static_cast<PageType>(ReadDbField(m, n, 0));
+std::optional<PageDb> TryExtractPageDb(const arm::MachineState& m, ExtractError* err) {
+  Extraction x{m, ReadGlobal(m, kGlobalNPages)};
+  PageDb d(x.npages);
+  for (PageNr n = 0; n < x.npages && !x.failed; ++n) {
+    const word type_word = ReadDbField(m, n, 0);
     const PageNr owner = ReadDbField(m, n, 1);
     PageDbEntry entry;
     entry.owner = owner;
-    switch (type) {
+    switch (static_cast<PageType>(type_word)) {
       case PageType::kFree:
         entry.page = FreePage{};
         break;
       case PageType::kAddrspace:
-        entry.page = ExtractAddrspace(m, n);
+        entry.page = ExtractAddrspace(x, n);
         break;
       case PageType::kDispatcher:
-        entry.page = ExtractDispatcher(m, n);
+        entry.page = ExtractDispatcher(x, n);
         break;
       case PageType::kL1PTable:
-        entry.page = ExtractL1PTable(m, n);
+        entry.page = ExtractL1PTable(x, n);
         break;
       case PageType::kL2PTable:
-        entry.page = ExtractL2PTable(m, n);
+        entry.page = ExtractL2PTable(x, n);
         break;
       case PageType::kDataPage:
-        entry.page = ExtractData(m, n);
+        entry.page = ExtractData(x, n);
         break;
       case PageType::kSparePage:
         entry.page = SparePage{};
         break;
+      default:
+        x.Fail(n, "PageDB type word " + HexWord(type_word) + " names no page type");
+        break;
     }
     d[n] = std::move(entry);
   }
+  if (x.failed) {
+    if (err != nullptr) {
+      *err = std::move(x.err);
+    }
+    return std::nullopt;
+  }
   return d;
+}
+
+PageDb ExtractPageDb(const arm::MachineState& m) {
+  ExtractError err;
+  std::optional<PageDb> d = TryExtractPageDb(m, &err);
+  if (!d.has_value()) {
+    std::fprintf(stderr, "komodo: spec extraction failed at page %u: %s\n",
+                 static_cast<unsigned>(err.page), err.detail.c_str());
+    std::abort();
+  }
+  return std::move(*d);
 }
 
 std::array<word, arm::kWordsPerPage> ExtractPageContents(const arm::MachineState& m, PageNr page) {

@@ -6,15 +6,33 @@
 #ifndef SRC_SPEC_EXTRACT_H_
 #define SRC_SPEC_EXTRACT_H_
 
+#include <optional>
+#include <string>
+
 #include "src/arm/machine.h"
 #include "src/spec/abstract_state.h"
 
 namespace komodo::spec {
 
+// A structural decode failure: the monitor's in-memory state does not
+// represent any abstract PageDb (e.g. a page-table descriptor pointing
+// outside the secure region, or a PageDB type word with no variant). A
+// correct monitor never produces one; fault injections can.
+struct ExtractError {
+  PageNr page = kInvalidPage;  // secure page being decoded (kInvalidPage: PageDB header)
+  std::string detail;
+};
+
 // Reads the PageDB region, typed secure pages and hardware page tables out of
-// simulated memory and reifies the abstract state. Asserts only structural
-// well-formedness needed to decode (e.g. descriptor addresses inside the
-// secure region); semantic invariants are checked separately.
+// simulated memory and reifies the abstract state. Returns nullopt (filling
+// *err when non-null) if the representation cannot be decoded; semantic
+// invariants are checked separately (invariants.h).
+std::optional<PageDb> TryExtractPageDb(const arm::MachineState& m, ExtractError* err = nullptr);
+
+// Abort-on-failure wrapper for callers that have already established
+// decodability (the refinement and property tests). The differential oracles
+// and the model checker use TryExtractPageDb so an injected fault surfaces as
+// an oracle failure instead of killing the process.
 PageDb ExtractPageDb(const arm::MachineState& m);
 
 // Extracts the contents of one secure page as words (for data-page checks).

@@ -1,0 +1,148 @@
+// Widening regression for the taint fixpoint (taint.cc Interp::Run): a loop
+// that shifts values through a chain of tracked store cells ascends the
+// lattice one cell per pass, so before widening the iteration count grew
+// with the number of tracked addresses — a long enough chain exhausted the
+// fixpoint budget and tripped its convergence assert. After kWidenAfterJoins
+// re-joins of a block the store is abstracted to region defaults, which
+// bounds the remaining ascent by the registers alone. These tests pin both
+// sides: the cascade converges fast *because* widening fires, and short
+// well-behaved loops still converge without it (no precision tax).
+#include <gtest/gtest.h>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/taint.h"
+#include "src/arm/assembler.h"
+#include "src/core/kom_defs.h"
+#include "src/os/os.h"
+
+namespace komodo::analysis {
+namespace {
+
+using arm::Assembler;
+using arm::Cond;
+using namespace arm;  // register names
+
+constexpr vaddr kBase = os::kEnclaveCodeVa;
+constexpr int kCells = 24;  // > kWidenAfterJoins, so the cascade must widen
+
+TaintResult Analyze(const std::vector<word>& program) {
+  return RunTaintPass(BuildCfg(program, kBase));
+}
+
+void EmitExit(Assembler& a) {
+  a.MovImm(R1, 0);
+  a.MovImm(R0, kSvcExit);
+  a.Svc();
+}
+
+// The pathological shape: every private-page cell starts at the same known
+// constant, so the in-loop shift cell[i] = cell[i-1] is the identity until
+// the bump of cell[0] kills its constant at the first join. Copying highest
+// cell first means each transfer reads the *pre-iteration* neighbour, so
+// unknown-ness crawls up the chain exactly one cell per fixpoint pass —
+// kCells + 1 joins of the loop head before it would stabilize on its own.
+void EmitCellCascadeLoop(Assembler& a) {
+  a.MovImm(R10, os::kEnclaveDataVa);
+  a.MovImm(R0, 1);
+  for (int i = 0; i < kCells; ++i) {
+    a.Str(R0, R10, 4 * i);
+  }
+  a.MovImm(R5, 0);
+  Assembler::Label loop = a.NewLabel();
+  a.Bind(loop);
+  for (int i = kCells - 1; i >= 1; --i) {
+    a.Ldr(R1, R10, 4 * (i - 1));
+    a.Str(R1, R10, 4 * i);
+  }
+  a.Ldr(R1, R10, 0);
+  a.Add(R1, R1, 1);
+  a.Str(R1, R10, 0);
+  a.Add(R5, R5, 1);
+  a.Cmp(R5, 8u);
+  a.B(loop, Cond::kNe);
+}
+
+TEST(TaintWidening, CellCascadeLoopConvergesCleanViaWidening) {
+  Assembler a(kBase);
+  EmitCellCascadeLoop(a);
+  EmitExit(a);
+  const TaintResult r = Analyze(a.Finish());
+  // Widening fired (kCells cells need more joins than kWidenAfterJoins
+  // allows) ...
+  EXPECT_GT(r.widened_joins, 0u);
+  // ... and the result is still clean: the loop counter and every store
+  // address are public constants; secret-*valued* private cells are fine.
+  EXPECT_TRUE(r.findings.empty()) << r.findings.size() << " findings";
+  for (const AbsState& s : r.block_in) {
+    if (s.valid) {
+      EXPECT_EQ(s.flags, Taint::kPublic);
+    }
+  }
+}
+
+TEST(TaintWidening, WidenedStoreNeverReportsBelowRegionDefault) {
+  // Widening may only *raise* a cell toward its region default: once the
+  // cascade's cells are abstracted, no fixpoint state may track a
+  // private-page (secret-region) cell as public — such cells are either
+  // secret or erased (absent cells read as the secret default anyway).
+  Assembler a(kBase);
+  EmitCellCascadeLoop(a);
+  EmitExit(a);
+  const TaintResult r = Analyze(a.Finish());
+  ASSERT_GT(r.widened_joins, 0u);
+  for (const AbsState& s : r.block_in) {
+    if (!s.valid) {
+      continue;
+    }
+    for (const auto& [addr, cell] : s.store) {
+      if (addr >= os::kEnclaveDataVa && addr < os::kEnclaveDataVa + 0x1000) {
+        EXPECT_EQ(cell.taint, Taint::kSecret) << "cell " << std::hex << addr;
+      }
+    }
+  }
+}
+
+TEST(TaintWidening, ShortLoopsConvergeWithoutWidening) {
+  // A small counted loop that stores and reloads through the private page:
+  // stabilizes in two or three joins, so widening must not fire and the
+  // public loop counter keeps the branch clean.
+  Assembler a(kBase);
+  a.MovImm(R10, os::kEnclaveDataVa + 0x120);
+  a.MovImm(R5, 0);
+  Assembler::Label loop = a.NewLabel();
+  a.Bind(loop);
+  a.Str(R5, R10, 0);
+  a.Ldr(R6, R10, 0);
+  a.Add(R5, R5, 1);
+  a.Cmp(R5, 4u);
+  a.B(loop, Cond::kNe);
+  EmitExit(a);
+  const TaintResult r = Analyze(a.Finish());
+  EXPECT_EQ(r.widened_joins, 0u);
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(TaintWidening, WideningDoesNotMaskRealSecretBranches) {
+  // Soundness alongside widening: the same cascade loop, but the exit also
+  // branches on a value loaded from a never-written private-page cell
+  // (secret by region default). Erasing widened cells must not erase the
+  // secret-dependent-branch finding.
+  Assembler a(kBase);
+  EmitCellCascadeLoop(a);
+  a.Ldr(R2, R10, 0x400);  // untouched private cell: secret
+  Assembler::Label skip = a.NewLabel();
+  a.Cmp(R2, 0u);
+  a.B(skip, Cond::kEq);
+  a.Bind(skip);
+  EmitExit(a);
+  const TaintResult r = Analyze(a.Finish());
+  EXPECT_GT(r.widened_joins, 0u);
+  bool secret_branch = false;
+  for (const Finding& f : r.findings) {
+    secret_branch |= f.kind == FindingKind::kSecretDependentBranch;
+  }
+  EXPECT_TRUE(secret_branch);
+}
+
+}  // namespace
+}  // namespace komodo::analysis

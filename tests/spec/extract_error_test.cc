@@ -1,0 +1,82 @@
+// Typed extraction failures: when the monitor's in-memory representation does
+// not decode to any abstract PageDb (possible only via fault injection or
+// direct memory corruption), TryExtractPageDb must report a structured error
+// naming the offending page instead of killing the process — an injected bug
+// has to surface as a replayable oracle failure, not a harness abort.
+#include "src/spec/extract.h"
+
+#include <gtest/gtest.h>
+
+#include "src/arm/page_table.h"
+#include "src/core/pagedb.h"
+#include "src/fuzz/inject.h"
+#include "src/os/world.h"
+#include "src/spec/invariants.h"
+
+namespace komodo::spec {
+namespace {
+
+os::World& BootedWorld() {
+  static os::World w(8);
+  return w;
+}
+
+void WriteDbTypeWord(arm::MachineState& m, PageNr n, word type_word) {
+  m.mem.Write(arm::kMonitorBase + kPageDbOffset + n * kPageDbEntryWords * arm::kWordSize,
+              type_word);
+}
+
+TEST(ExtractErrorTest, CleanBootExtracts) {
+  EXPECT_TRUE(TryExtractPageDb(BootedWorld().machine).has_value());
+}
+
+TEST(ExtractErrorTest, BogusTypeWordIsATypedError) {
+  os::World w(8);
+  WriteDbTypeWord(w.machine, 3, 0x7777);
+  ExtractError err;
+  EXPECT_FALSE(TryExtractPageDb(w.machine, &err).has_value());
+  EXPECT_EQ(err.page, 3u);
+  EXPECT_NE(err.detail.find("names no page type"), std::string::npos) << err.detail;
+}
+
+TEST(ExtractErrorTest, GarbageL1TableIsATypedError) {
+  os::World w(8);
+  // Type page 2 as an L1 table whose contents are not valid descriptors.
+  w.machine.mem.Write(PagePaddr(2), 0x6a09e667);  // neither fault nor page-table
+  WriteDbTypeWord(w.machine, 2, static_cast<word>(PageType::kL1PTable));
+  ExtractError err;
+  EXPECT_FALSE(TryExtractPageDb(w.machine, &err).has_value());
+  EXPECT_EQ(err.page, 2u);
+  EXPECT_NE(err.detail.find("neither fault nor page-table"), std::string::npos) << err.detail;
+}
+
+TEST(ExtractErrorTest, OutOfRegionL2TargetIsATypedError) {
+  os::World w(8);
+  // An L2 descriptor whose secure small-page target lies past the world's
+  // 8 secure pages: base = kSecurePagesBase + 9 pages, small-page bits set.
+  const arm::paddr target = arm::kSecurePagesBase + 9 * arm::kPageSize;
+  w.machine.mem.Write(PagePaddr(4),
+                      arm::MakeL2SmallPageDesc(target, /*writable=*/true, /*executable=*/false,
+                                               /*ns=*/false));
+  WriteDbTypeWord(w.machine, 4, static_cast<word>(PageType::kL2PTable));
+  ExtractError err;
+  EXPECT_FALSE(TryExtractPageDb(w.machine, &err).has_value());
+  EXPECT_EQ(err.page, 4u);
+}
+
+// The formerly-aborting path end to end: the aliased InitAddrspace leaves a
+// page typed L1PTable holding measurement words. Extraction reports the
+// error; the abort-on-failure wrapper is only for callers that established
+// decodability beforehand.
+TEST(ExtractErrorTest, InitAddrspaceAliasInjectionYieldsErrorNotAbort) {
+  os::World w(8);
+  fuzz::ScopedInject inject("initaddrspace-alias");
+  ASSERT_EQ(w.os.Smc(kSmcInitAddrspace, 5, 5, 0, 0).err, kErrSuccess)
+      << "injection should make the aliased call succeed";
+  ExtractError err;
+  EXPECT_FALSE(TryExtractPageDb(w.machine, &err).has_value());
+  EXPECT_FALSE(err.detail.empty());
+}
+
+}  // namespace
+}  // namespace komodo::spec
