@@ -39,6 +39,14 @@ echo "=== [3/10] tier-1: ctest with interpreter caches disabled ==="
 # the whole suite has to pass with them off as well.
 KOMODO_INTERP_CACHE=off ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "=== [3b/10] tier-1: ctest with the block JIT disabled ==="
+# The A32→x64 translator (DESIGN.md §13) defaults on where supported, so the
+# plain run above already exercises it; this leg pins the interpreter-only
+# escape hatch, and the combination below the fully stripped configuration.
+KOMODO_JIT=off ctest --test-dir build --output-on-failure -j "$JOBS"
+KOMODO_JIT=off KOMODO_INTERP_CACHE=off \
+  ctest --test-dir build --output-on-failure -j "$JOBS" -R 'cycle_regression_test|interp_diff_test|jit_test'
+
 echo "=== [4/10] tier-1: ctest with tracing enabled ==="
 # The tracer (DESIGN.md §9) must be architecturally invisible too: the whole
 # suite — including the cycle-regression test — has to pass with every
@@ -80,7 +88,9 @@ grep -q "^closure-hash ${VERIFY_CLOSURE_HASH}\$" build/verify-small-1.out \
 echo "=== [9/10] komodo-fuzz smoke (fixed seed, all oracles, determinism) ==="
 # A short fixed-seed campaign per oracle (DESIGN.md §10). Run twice; stdout —
 # including the campaign-hash over every generated trace and verdict — must be
-# byte-identical, or the fuzzer has lost replayability.
+# byte-identical, or the fuzzer has lost replayability. The interp oracle is
+# a three-way bisimulation (uncached / cached / JIT, DESIGN.md §13), so this
+# smoke is also the JIT's randomized gate.
 FUZZ_ARGS=(--seed 20260807 --calls 400 --trace-len 60 --out build)
 ./build/tools/komodo-fuzz "${FUZZ_ARGS[@]}" 2>/dev/null > build/fuzz-smoke-1.out
 ./build/tools/komodo-fuzz "${FUZZ_ARGS[@]}" 2>/dev/null > build/fuzz-smoke-2.out
@@ -134,9 +144,9 @@ fi
 
 # clang-tidy is optional: the reference container only ships gcc.
 if command -v clang-tidy >/dev/null 2>&1 && [[ -f build/compile_commands.json ]]; then
-  echo "=== extra: clang-tidy (src/core src/spec src/analysis src/verify) ==="
+  echo "=== extra: clang-tidy (src/core src/spec src/analysis src/verify src/jit) ==="
   clang-tidy -p build --quiet \
-    src/core/*.cc src/spec/*.cc src/analysis/*.cc src/verify/*.cc
+    src/core/*.cc src/spec/*.cc src/analysis/*.cc src/verify/*.cc src/jit/*.cc
 else
   echo "=== extra: clang-tidy not found; skipping (config: .clang-tidy) ==="
 fi

@@ -73,17 +73,23 @@ void MachineState::ExceptionReturn(word target) {
   cycles.Charge(kCortexA7Costs.exception_return);
 }
 
+// Note on the interpreter's micro-TLB: TTBR writes, TLBIALL and world
+// switches deliberately do NOT touch it. Its entries are tagged with the
+// TTBR0 they were walked under and the generations of the descriptor pages
+// the walk read, so a stale entry can never validate — the cache is a pure
+// memo of WalkPageTable, coherent by construction (tests/arm/tlb_cache_test.cc
+// pins this). Keeping entries warm across the SMC world-switch round trip is
+// a measurable win on enter/resume-heavy workloads (EXPERIMENTS.md). The
+// *architectural* tlb_consistent discipline below is unchanged.
 void MachineState::WriteTtbr0(word value) {
   ttbr0 = value;
   tlb_consistent = false;
-  interp.InvalidateTlb();
   cycles.Charge(kCortexA7Costs.cp15_access);
 }
 
 void MachineState::FlushTlb() {
   tlb_consistent = true;
   ++tlb_flushes;
-  interp.InvalidateTlb();
   cycles.Charge(kCortexA7Costs.tlb_flush_all);
 }
 
@@ -110,13 +116,13 @@ size_t MachineState::ResetTo(const MachineState& snapshot) {
   // effect; stale translations must not survive into the next lease even
   // though page generations only ever move forward.
   interp.set_enabled(snapshot.interp.enabled());
+  jit.set_enabled(snapshot.jit.enabled());
   return restored;
 }
 
 void MachineState::SetScrNs(bool ns) {
   assert(cpsr.mode == Mode::kMonitor);
   scr_ns = ns;
-  interp.InvalidateTlb();
   cycles.Charge(kCortexA7Costs.world_switch);
 }
 

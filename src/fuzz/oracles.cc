@@ -352,19 +352,33 @@ Verdict RunNoninterference(const Trace& t, WorldPool& pool) {
   return {};
 }
 
-// --- interp (cached vs uncached) ------------------------------------------------
+// --- interp (cached vs uncached vs JIT) -----------------------------------------
+//
+// Three-way bisimulation. The cached/uncached pair is the original oracle and
+// is compared first so its canonical failure details stay stable (the
+// committed regression corpus records them). The third world runs the block
+// JIT on top of the caches; any architectural divergence from the cached
+// world is a translator bug. On hosts without JIT support the third world
+// degenerates into a second cached interpreter, which trivially agrees.
 
 Verdict RunInterp(const Trace& t, WorldPool& pool) {
   WorldPool::Lease lease_c = pool.Acquire(t.pages);
   WorldPool::Lease lease_u = pool.Acquire(t.pages);
+  WorldPool::Lease lease_j = pool.Acquire(t.pages);
   os::World& wc = lease_c.world();
   os::World& wu = lease_u.world();
+  os::World& wj = lease_j.world();
   wc.machine.interp.set_enabled(true);
+  wc.machine.jit.set_enabled(false);
   wu.machine.interp.set_enabled(false);
-  os::EnclaveHandle vc, vu;
+  wu.machine.jit.set_enabled(false);
+  wj.machine.interp.set_enabled(true);
+  wj.machine.jit.set_enabled(true);
+  os::EnclaveHandle vc, vu, vj;
   if (!t.victim.empty()) {
     std::string why;
-    if (!BuildVictim(wc, t.victim, &vc, &why) || !BuildVictim(wu, t.victim, &vu, &why)) {
+    if (!BuildVictim(wc, t.victim, &vc, &why) || !BuildVictim(wu, t.victim, &vu, &why) ||
+        !BuildVictim(wj, t.victim, &vj, &why)) {
       return Fail(-1, "harness: " + why);
     }
   }
@@ -372,14 +386,17 @@ Verdict RunInterp(const Trace& t, WorldPool& pool) {
     const TraceOp& op = t.ops[i];
     os::SmcRet rc{kErrSuccess, 0};
     os::SmcRet ru{kErrSuccess, 0};
+    os::SmcRet rj{kErrSuccess, 0};
     switch (op.kind) {
       case OpKind::kPoke:
         ApplyPoke(wc, op);
         ApplyPoke(wu, op);
+        ApplyPoke(wj, op);
         break;
       case OpKind::kSmc:
         rc = wc.os.Smc(op.a[0], op.a[1], op.a[2], op.a[3], op.a[4]);
         ru = wu.os.Smc(op.a[0], op.a[1], op.a[2], op.a[3], op.a[4]);
+        rj = wj.os.Smc(op.a[0], op.a[1], op.a[2], op.a[3], op.a[4]);
         break;
       case OpKind::kSvc:
         break;  // not generated for interp traces
@@ -389,6 +406,7 @@ Verdict RunInterp(const Trace& t, WorldPool& pool) {
         }
         rc = wc.os.Enter(vc.thread, op.a[1], op.a[2], op.a[3]);
         ru = wu.os.Enter(vu.thread, op.a[1], op.a[2], op.a[3]);
+        rj = wj.os.Enter(vj.thread, op.a[1], op.a[2], op.a[3]);
         break;
       case OpKind::kResume:
         if (t.victim.empty()) {
@@ -396,6 +414,7 @@ Verdict RunInterp(const Trace& t, WorldPool& pool) {
         }
         rc = wc.os.Resume(vc.thread);
         ru = wu.os.Resume(vu.thread);
+        rj = wj.os.Resume(vj.thread);
         break;
     }
     if (rc.err != ru.err || rc.val != ru.val) {
@@ -408,6 +427,17 @@ Verdict RunInterp(const Trace& t, WorldPool& pool) {
     if (!diff.empty()) {
       return Fail(static_cast<int>(i),
                   OpLabel(t, i) + ": cached/uncached state diverges: " + diff.front());
+    }
+    if (rj.err != rc.err || rj.val != rc.val) {
+      std::ostringstream out;
+      out << OpLabel(t, i) << ": result differs: jit (" << KomErrName(rj.err) << ", "
+          << rj.val << ") vs cached (" << KomErrName(rc.err) << ", " << rc.val << ")";
+      return Fail(static_cast<int>(i), out.str());
+    }
+    const auto jdiff = MachineDiff(wj.machine, wc.machine);
+    if (!jdiff.empty()) {
+      return Fail(static_cast<int>(i),
+                  OpLabel(t, i) + ": jit/cached state diverges: " + jdiff.front());
     }
   }
   return {};

@@ -1,0 +1,755 @@
+// A32 basic-block → x64 translator (DESIGN.md §13).
+//
+// Each translated instruction retires exactly like one interpreter Step():
+// it increments steps_retired, evaluates its condition against the live CPSR
+// bytes, charges the calibrated Cortex-A7 cycle costs, and applies its
+// architectural effects through the same rules execute.cc implements —
+// including PC-as-operand = insn_addr + 8, banked SP/LR access indexed by the
+// current mode byte, the ARM↔x64 carry-polarity flip on subtraction, and the
+// exact shifter-carry semantics of every immediate-shift form. Memory
+// accesses go through runtime helpers that reuse TranslateAddress and the
+// live-page-table store hook, so faults, TrustZone filtering and TLB
+// consistency behave bit-identically to the interpreter.
+//
+// Register plan inside a block (System V x64):
+//   rbx = MachineState*      rbp = JitRt*          (callee-saved, prologue)
+//   eax = primary/result     ecx = operand2        edx = scratch/mode index
+//   r8b = shifter carry      r12d = LDM/STM addr   r13d = LDM loaded PC
+//                            r14d = LDM/STM base   (callee-saved, prologue)
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/arm/cycle_model.h"
+#include "src/arm/isa.h"
+#include "src/arm/machine.h"
+#include "src/jit/jit_internal.h"
+#include "src/jit/x64_emitter.h"
+
+namespace komodo::jit {
+
+namespace {
+
+using arm::Cond;
+using arm::Instruction;
+using arm::Op;
+using arm::Reg;
+using arm::ShiftKind;
+using arm::word;
+
+const arm::CycleCosts& kCosts = arm::kCortexA7Costs;
+
+bool IsDataProcessing(Op op) {
+  return static_cast<uint8_t>(op) <= static_cast<uint8_t>(Op::kMvn);
+}
+
+bool IsCompare(Op op) {
+  return op == Op::kTst || op == Op::kTeq || op == Op::kCmp || op == Op::kCmn;
+}
+
+bool IsLogical(Op op) {
+  switch (op) {
+    case Op::kAnd:
+    case Op::kTst:
+    case Op::kEor:
+    case Op::kTeq:
+    case Op::kOrr:
+    case Op::kMov:
+    case Op::kBic:
+    case Op::kMvn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// True if the instruction ends a basic block by writing the PC. The
+// exception-return idiom never reaches here (not Jitable).
+bool IsTerminator(const Instruction& i) {
+  switch (i.op) {
+    case Op::kB:
+    case Op::kBl:
+    case Op::kBx:
+      return true;
+    case Op::kLdr:
+      return i.rd == arm::PC;
+    case Op::kLdm:
+      return ((i.reg_list >> arm::PC) & 1) != 0;
+    default:
+      break;
+  }
+  return IsDataProcessing(i.op) && !IsCompare(i.op) && i.rd == arm::PC &&
+         !i.set_flags;
+}
+
+// The hot subset the translator handles; everything else falls back to the
+// interpreter per instruction. PC-as-operand forms that read the *raw* PC in
+// the interpreter (ReadReg(PC) mid-step) are excluded rather than modelled.
+bool Jitable(const Instruction& i) {
+  if (IsDataProcessing(i.op)) {
+    return !arm::IsExceptionReturn(i);
+  }
+  switch (i.op) {
+    case Op::kMul:
+      return i.rd != arm::PC && i.rn != arm::PC && i.rm != arm::PC;
+    case Op::kMovw:
+    case Op::kMovt:
+      return i.rd != arm::PC;
+    case Op::kLdr:
+    case Op::kStr:
+      return !(i.mem_reg_offset && i.rm == arm::PC);
+    case Op::kLdrb:
+    case Op::kStrb:
+      return i.rd != arm::PC && !(i.mem_reg_offset && i.rm == arm::PC);
+    case Op::kLdm:
+    case Op::kStm:
+      return i.rn != arm::PC;
+    case Op::kB:
+    case Op::kBl:
+      return true;
+    case Op::kBx:
+      return i.rm != arm::PC;
+    default:
+      return false;  // traps, PSR/CP15 moves: interpreter only
+  }
+}
+
+class BlockCompiler {
+ public:
+  CompiledBlock Compile(const arm::PhysMemory& mem, arm::vaddr va, arm::paddr phys);
+
+ private:
+  using Alu = X64Emitter::Alu;
+  using Sh = X64Emitter::Sh;
+  // Where the ARM shifter carry ended up after operand2 evaluation.
+  enum class CarrySrc { kUnchanged, kZero, kOne, kR8 };
+
+  void EmitPrologue();
+  void EmitEpilogue();
+  void EmitExitConst(uint32_t code);
+  void EmitChargeCycles(uint64_t n) {
+    e_.AddMem64Imm(RBX, kOffCycles, static_cast<uint32_t>(n));
+  }
+  void EmitHelperCall(uint64_t fn) {
+    e_.MovRegImm64(RAX, fn);
+    e_.CallReg(RAX);
+  }
+  void EmitStatusCheck();
+  void EmitRestartCheck(word va);
+  void LoadGuestReg(int dst, Reg r);
+  void StoreGuestReg(Reg r, int src);
+  void LoadOperandReg(int dst, Reg r, word va);
+  std::vector<size_t> EmitCondFail(Cond c);
+  CarrySrc EmitOperand2(const Instruction& i, word va, bool need_carry);
+  void EmitInsn(const Instruction& i, word va);
+  void EmitDataProcessing(const Instruction& i, word va);
+  void EmitMul(const Instruction& i);
+  void EmitMovwMovt(const Instruction& i);
+  void EmitMemSingle(const Instruction& i, word va);
+  void EmitBlockTransfer(const Instruction& i, word va);
+  void EmitBranch(const Instruction& i, word va);
+
+  X64Emitter e_;
+};
+
+void BlockCompiler::EmitPrologue() {
+  e_.PushR64(RBX);
+  e_.PushR64(RBP);
+  e_.PushR64(R12);
+  e_.PushR64(R13);
+  e_.PushR64(R14);  // 5 pushes + return address: rsp stays 16-byte aligned
+  e_.MovRegReg64(RBX, RDI);
+  e_.MovRegReg64(RBP, RSI);
+}
+
+void BlockCompiler::EmitEpilogue() {
+  e_.PopR64(R14);
+  e_.PopR64(R13);
+  e_.PopR64(R12);
+  e_.PopR64(RBP);
+  e_.PopR64(RBX);
+  e_.Ret();
+}
+
+void BlockCompiler::EmitExitConst(uint32_t code) {
+  if (code == 0) {
+    e_.AluRegReg32(Alu::kXor, RAX, RAX);
+  } else {
+    e_.MovRegImm32(RAX, code);
+  }
+  EmitEpilogue();
+}
+
+// After a helper call: high 32 bits of rax are 0 (ok) or the exception exit
+// code; exit with it if set, else continue with the value in eax.
+void BlockCompiler::EmitStatusCheck() {
+  e_.MovRegReg64(RDX, RAX);
+  e_.ShrReg64Imm(RDX, 32);
+  const size_t ok = e_.JccForward(kCcE);
+  e_.MovRegReg64(RAX, RDX);
+  EmitEpilogue();
+  e_.BindForward(ok);
+}
+
+// After a store-class instruction completes: if a helper flagged a restart
+// (store into this block's own code, or TLB consistency lost), end the block
+// at this instruction boundary with the PC advanced past it.
+void BlockCompiler::EmitRestartCheck(word va) {
+  e_.CmpMem8Imm(RBP, kRtOffRestart, 0);
+  const size_t ok = e_.JccForward(kCcE);
+  e_.StoreMemImm32(RBX, kOffPc, va + 4);
+  EmitExitConst(0);
+  e_.BindForward(ok);
+}
+
+void BlockCompiler::LoadGuestReg(int dst, Reg r) {
+  if (r < arm::SP) {
+    e_.LoadMem32(dst, RBX, kOffR + 4 * static_cast<int32_t>(r));
+    return;
+  }
+  assert(r != arm::PC);
+  assert(dst != RDX);
+  e_.LoadMemZx8(RDX, RBX, kOffMode);
+  e_.LoadIndex32(dst, RBX, RDX, r == arm::SP ? kOffSpBank : kOffLrBank);
+}
+
+void BlockCompiler::StoreGuestReg(Reg r, int src) {
+  if (r < arm::SP) {
+    e_.StoreMem32(RBX, kOffR + 4 * static_cast<int32_t>(r), src);
+    return;
+  }
+  assert(r != arm::PC);
+  assert(src != RDX);
+  e_.LoadMemZx8(RDX, RBX, kOffMode);
+  e_.StoreIndex32(RBX, RDX, r == arm::SP ? kOffSpBank : kOffLrBank, src);
+}
+
+// Operand read with the A32 rule that PC reads as the instruction address + 8.
+void BlockCompiler::LoadOperandReg(int dst, Reg r, word va) {
+  if (r == arm::PC) {
+    e_.MovRegImm32(dst, va + 8);
+  } else {
+    LoadGuestReg(dst, r);
+  }
+}
+
+// Emits the condition test; returns fixups that jump when the condition
+// FAILS (to be bound at the caller's cond-fail stub).
+std::vector<size_t> BlockCompiler::EmitCondFail(Cond c) {
+  std::vector<size_t> fails;
+  const auto flag_is = [&](int32_t off) { e_.CmpMem8Imm(RBX, off, 0); };
+  const auto n_vs_v = [&] {
+    e_.LoadMem8(RDX, RBX, kOffFlagN);
+    e_.CmpReg8Mem8(RDX, RBX, kOffFlagV);
+  };
+  switch (c) {
+    case Cond::kAl:
+      break;
+    case Cond::kEq:
+      flag_is(kOffFlagZ);
+      fails.push_back(e_.JccForward(kCcE));
+      break;
+    case Cond::kNe:
+      flag_is(kOffFlagZ);
+      fails.push_back(e_.JccForward(kCcNe));
+      break;
+    case Cond::kCs:
+      flag_is(kOffFlagC);
+      fails.push_back(e_.JccForward(kCcE));
+      break;
+    case Cond::kCc:
+      flag_is(kOffFlagC);
+      fails.push_back(e_.JccForward(kCcNe));
+      break;
+    case Cond::kMi:
+      flag_is(kOffFlagN);
+      fails.push_back(e_.JccForward(kCcE));
+      break;
+    case Cond::kPl:
+      flag_is(kOffFlagN);
+      fails.push_back(e_.JccForward(kCcNe));
+      break;
+    case Cond::kVs:
+      flag_is(kOffFlagV);
+      fails.push_back(e_.JccForward(kCcE));
+      break;
+    case Cond::kVc:
+      flag_is(kOffFlagV);
+      fails.push_back(e_.JccForward(kCcNe));
+      break;
+    case Cond::kHi:  // C && !Z
+      flag_is(kOffFlagC);
+      fails.push_back(e_.JccForward(kCcE));
+      flag_is(kOffFlagZ);
+      fails.push_back(e_.JccForward(kCcNe));
+      break;
+    case Cond::kLs: {  // !C || Z
+      flag_is(kOffFlagC);
+      const size_t pass = e_.JccForward(kCcE);
+      flag_is(kOffFlagZ);
+      fails.push_back(e_.JccForward(kCcE));
+      e_.BindForward(pass);
+      break;
+    }
+    case Cond::kGe:  // N == V
+      n_vs_v();
+      fails.push_back(e_.JccForward(kCcNe));
+      break;
+    case Cond::kLt:  // N != V
+      n_vs_v();
+      fails.push_back(e_.JccForward(kCcE));
+      break;
+    case Cond::kGt:  // !Z && N == V
+      flag_is(kOffFlagZ);
+      fails.push_back(e_.JccForward(kCcNe));
+      n_vs_v();
+      fails.push_back(e_.JccForward(kCcNe));
+      break;
+    case Cond::kLe: {  // Z || N != V
+      flag_is(kOffFlagZ);
+      const size_t pass = e_.JccForward(kCcNe);
+      n_vs_v();
+      fails.push_back(e_.JccForward(kCcE));
+      e_.BindForward(pass);
+      break;
+    }
+  }
+  return fails;
+}
+
+// Materializes operand2 into ecx, reproducing ApplyShift()'s value and carry
+// semantics for every immediate-shift form (LSR/ASR #0 mean #32; ROR #0 is
+// RRX). The shifter carry lands in r8b when dynamic.
+BlockCompiler::CarrySrc BlockCompiler::EmitOperand2(const Instruction& i, word va,
+                                                    bool need_carry) {
+  const arm::Operand2& o = i.op2;
+  if (o.is_imm) {
+    const word v = o.ImmValue();
+    e_.MovRegImm32(RCX, v);
+    if (o.rot4 == 0) {
+      return CarrySrc::kUnchanged;
+    }
+    return (v >> 31) != 0 ? CarrySrc::kOne : CarrySrc::kZero;
+  }
+  LoadOperandReg(RCX, o.rm, va);
+  const unsigned amt = o.shift_imm;
+  switch (o.shift) {
+    case ShiftKind::kLsl:
+      if (amt == 0) {
+        return CarrySrc::kUnchanged;
+      }
+      e_.ShiftRegImm32(Sh::kShl, RCX, static_cast<uint8_t>(amt));
+      break;
+    case ShiftKind::kLsr:
+      if (amt == 0) {  // LSR #32: result 0, carry = bit 31
+        if (need_carry) {
+          e_.BtRegImm32(RCX, 31);
+          e_.SetccReg8(kCcB, R8);
+        }
+        e_.MovRegImm32(RCX, 0);
+        return CarrySrc::kR8;
+      }
+      e_.ShiftRegImm32(Sh::kShr, RCX, static_cast<uint8_t>(amt));
+      break;
+    case ShiftKind::kAsr:
+      if (amt == 0) {  // ASR #32: sign-fill, carry = bit 31
+        if (need_carry) {
+          e_.BtRegImm32(RCX, 31);
+          e_.SetccReg8(kCcB, R8);
+        }
+        e_.ShiftRegImm32(Sh::kSar, RCX, 31);
+        return CarrySrc::kR8;
+      }
+      e_.ShiftRegImm32(Sh::kSar, RCX, static_cast<uint8_t>(amt));
+      break;
+    case ShiftKind::kRor:
+      if (amt == 0) {  // RRX: rotate right through carry by one
+        e_.LoadMemZx8(RDX, RBX, kOffFlagC);
+        e_.ShiftRegImm32(Sh::kShr, RDX, 1);  // CF = old C flag
+        e_.ShiftRegImm32(Sh::kRcr, RCX, 1);
+      } else {
+        e_.ShiftRegImm32(Sh::kRor, RCX, static_cast<uint8_t>(amt));
+      }
+      break;
+  }
+  // x64 leaves CF = the last bit shifted/rotated out — exactly ARM's shifter
+  // carry for every form above.
+  if (need_carry) {
+    e_.SetccReg8(kCcB, R8);
+  }
+  return CarrySrc::kR8;
+}
+
+void BlockCompiler::EmitDataProcessing(const Instruction& i, word va) {
+  EmitChargeCycles(kCosts.alu);
+  const bool compare = IsCompare(i.op);
+  const bool flags = i.set_flags || compare;
+  const bool logical = IsLogical(i.op);
+  const CarrySrc cs = EmitOperand2(i, va, flags && logical);
+  switch (i.op) {
+    case Op::kAnd:
+    case Op::kTst:
+      LoadOperandReg(RAX, i.rn, va);
+      e_.AluRegReg32(Alu::kAnd, RAX, RCX);
+      break;
+    case Op::kEor:
+    case Op::kTeq:
+      LoadOperandReg(RAX, i.rn, va);
+      e_.AluRegReg32(Alu::kXor, RAX, RCX);
+      break;
+    case Op::kOrr:
+      LoadOperandReg(RAX, i.rn, va);
+      e_.AluRegReg32(Alu::kOr, RAX, RCX);
+      break;
+    case Op::kBic:
+      e_.NotReg32(RCX);
+      LoadOperandReg(RAX, i.rn, va);
+      e_.AluRegReg32(Alu::kAnd, RAX, RCX);
+      break;
+    case Op::kMov:
+      e_.MovRegReg32(RAX, RCX);
+      break;
+    case Op::kMvn:
+      e_.NotReg32(RCX);
+      e_.MovRegReg32(RAX, RCX);
+      break;
+    case Op::kSub:
+    case Op::kCmp:
+      LoadOperandReg(RAX, i.rn, va);
+      e_.AluRegReg32(Alu::kSub, RAX, RCX);
+      break;
+    case Op::kRsb:
+      LoadOperandReg(RAX, i.rn, va);
+      e_.XchgRegReg32(RAX, RCX);  // eax = op2, ecx = rn
+      e_.AluRegReg32(Alu::kSub, RAX, RCX);
+      break;
+    case Op::kAdd:
+    case Op::kCmn:
+      LoadOperandReg(RAX, i.rn, va);
+      e_.AluRegReg32(Alu::kAdd, RAX, RCX);
+      break;
+    case Op::kAdc:
+      LoadOperandReg(RAX, i.rn, va);
+      e_.LoadMemZx8(RDX, RBX, kOffFlagC);
+      e_.AluRegImm32(Alu::kAdd, RDX, 0xffff'ffff);  // CF = C flag
+      e_.AluRegReg32(Alu::kAdc, RAX, RCX);
+      break;
+    case Op::kSbc:
+      LoadOperandReg(RAX, i.rn, va);
+      e_.LoadMemZx8(RDX, RBX, kOffFlagC);
+      e_.AluRegImm32(Alu::kCmp, RDX, 1);  // CF = !C (x64 borrow = 1 - ARM C)
+      e_.AluRegReg32(Alu::kSbb, RAX, RCX);
+      break;
+    case Op::kRsc:
+      LoadOperandReg(RAX, i.rn, va);
+      e_.XchgRegReg32(RAX, RCX);
+      e_.LoadMemZx8(RDX, RBX, kOffFlagC);
+      e_.AluRegImm32(Alu::kCmp, RDX, 1);
+      e_.AluRegReg32(Alu::kSbb, RAX, RCX);
+      break;
+    default:
+      assert(false && "not a data-processing op");
+      break;
+  }
+  if (flags) {
+    if (logical) {
+      e_.TestRegReg32(RAX, RAX);
+      e_.SetccMem8(kCcS, RBX, kOffFlagN);
+      e_.SetccMem8(kCcE, RBX, kOffFlagZ);
+      switch (cs) {
+        case CarrySrc::kUnchanged:
+          break;
+        case CarrySrc::kZero:
+          e_.StoreMemImm8(RBX, kOffFlagC, 0);
+          break;
+        case CarrySrc::kOne:
+          e_.StoreMemImm8(RBX, kOffFlagC, 1);
+          break;
+        case CarrySrc::kR8:
+          e_.StoreMem8(RBX, kOffFlagC, R8);
+          break;
+      }
+    } else {
+      // ARM C on subtraction = NOT x64 borrow; on addition they agree.
+      const bool add_family = i.op == Op::kAdd || i.op == Op::kCmn || i.op == Op::kAdc;
+      e_.SetccMem8(add_family ? kCcB : kCcAe, RBX, kOffFlagC);
+      e_.SetccMem8(kCcO, RBX, kOffFlagV);
+      e_.SetccMem8(kCcS, RBX, kOffFlagN);
+      e_.SetccMem8(kCcE, RBX, kOffFlagZ);
+    }
+  }
+  if (!compare) {
+    if (i.rd == arm::PC) {
+      // Branch by ALU result: raw value, no alignment masking (execute.cc).
+      e_.StoreMem32(RBX, kOffPc, RAX);
+      EmitChargeCycles(kCosts.branch_taken);
+      EmitExitConst(0);
+    } else {
+      StoreGuestReg(i.rd, RAX);
+    }
+  }
+}
+
+void BlockCompiler::EmitMul(const Instruction& i) {
+  EmitChargeCycles(kCosts.mul);
+  LoadGuestReg(RAX, i.rm);
+  LoadGuestReg(RCX, i.rn);
+  e_.ImulRegReg32(RAX, RCX);
+  StoreGuestReg(i.rd, RAX);
+  if (i.set_flags) {
+    e_.TestRegReg32(RAX, RAX);
+    e_.SetccMem8(kCcS, RBX, kOffFlagN);
+    e_.SetccMem8(kCcE, RBX, kOffFlagZ);
+  }
+}
+
+void BlockCompiler::EmitMovwMovt(const Instruction& i) {
+  EmitChargeCycles(kCosts.alu);
+  const uint32_t imm16 = i.trap_imm & 0xffff;
+  if (i.op == Op::kMovw) {
+    e_.MovRegImm32(RAX, imm16);
+  } else {
+    LoadGuestReg(RAX, i.rd);
+    e_.AluRegImm32(Alu::kAnd, RAX, 0xffff);
+    e_.AluRegImm32(Alu::kOr, RAX, imm16 << 16);
+  }
+  StoreGuestReg(i.rd, RAX);
+}
+
+void BlockCompiler::EmitMemSingle(const Instruction& i, word va) {
+  const bool is_load = i.op == Op::kLdr || i.op == Op::kLdrb;
+  const bool is_byte = i.op == Op::kLdrb || i.op == Op::kStrb;
+  EmitChargeCycles(is_load ? kCosts.load : kCosts.store);
+  LoadOperandReg(RAX, i.rn, va);  // base (PC = va + 8)
+  if (i.mem_reg_offset) {
+    LoadGuestReg(RCX, i.rm);
+    e_.AluRegReg32(i.mem_add ? Alu::kAdd : Alu::kSub, RAX, RCX);
+  } else if (i.mem_imm12 != 0) {
+    e_.AluRegImm32(i.mem_add ? Alu::kAdd : Alu::kSub, RAX, i.mem_imm12);
+  }
+  e_.MovRegReg32(RSI, RAX);
+  if (is_load) {
+    e_.MovRegReg64(RDI, RBP);
+    e_.MovRegImm32(RDX, va);
+    EmitHelperCall(reinterpret_cast<uint64_t>(is_byte ? &komodo_jit_load_byte
+                                                      : &komodo_jit_load_word));
+    EmitStatusCheck();
+    if (!is_byte && i.rd == arm::PC) {
+      e_.AluRegImm32(Alu::kAnd, RAX, ~3u);  // interworking unmodelled
+      e_.StoreMem32(RBX, kOffPc, RAX);
+      EmitChargeCycles(kCosts.branch_taken);
+      EmitExitConst(0);
+    } else {
+      StoreGuestReg(i.rd, RAX);
+    }
+  } else {
+    if (!is_byte && i.rd == arm::PC) {
+      e_.MovRegImm32(RDX, va + 8);  // STR pc stores insn_addr + 8
+    } else {
+      LoadGuestReg(RAX, i.rd);
+      e_.MovRegReg32(RDX, RAX);
+    }
+    e_.MovRegReg64(RDI, RBP);
+    e_.MovRegImm32(RCX, va);
+    EmitHelperCall(reinterpret_cast<uint64_t>(is_byte ? &komodo_jit_store_byte
+                                                      : &komodo_jit_store_word));
+    EmitStatusCheck();
+    EmitRestartCheck(va);
+  }
+}
+
+void BlockCompiler::EmitBlockTransfer(const Instruction& i, word va) {
+  const bool is_load = i.op == Op::kLdm;
+  const uint32_t count = static_cast<uint32_t>(__builtin_popcount(i.reg_list));
+  LoadGuestReg(RAX, i.rn);
+  e_.MovRegReg32(R14, RAX);  // original base, for writeback
+  e_.MovRegReg32(R12, RAX);  // running transfer address
+  if (i.mem_add) {
+    if (i.block_pre) {
+      e_.AluRegImm32(Alu::kAdd, R12, 4);
+    }
+  } else {
+    const uint32_t down = 4 * count - (i.block_pre ? 0 : 4);
+    if (down != 0) {
+      e_.AluRegImm32(Alu::kSub, R12, down);
+    }
+  }
+  // Alignment of the lowest address, checked before any per-transfer charge.
+  e_.TestRegImm32(R12, 3);
+  const size_t aligned = e_.JccForward(kCcE);
+  e_.MovRegReg64(RDI, RBP);
+  e_.MovRegImm32(RSI, static_cast<uint32_t>(arm::Exception::kDataAbort));
+  e_.MovRegImm32(RDX, va);
+  EmitHelperCall(reinterpret_cast<uint64_t>(&komodo_jit_fault));
+  e_.ShrReg64Imm(RAX, 32);
+  EmitEpilogue();
+  e_.BindForward(aligned);
+
+  for (int r = 0; r < 16; ++r) {
+    if (((i.reg_list >> r) & 1) == 0) {
+      continue;
+    }
+    EmitChargeCycles(is_load ? kCosts.load : kCosts.store);
+    e_.MovRegReg32(RSI, R12);
+    if (is_load) {
+      e_.MovRegReg64(RDI, RBP);
+      e_.MovRegImm32(RDX, va);
+      EmitHelperCall(reinterpret_cast<uint64_t>(&komodo_jit_load_word));
+      EmitStatusCheck();
+      if (r == arm::PC) {
+        e_.MovRegReg32(R13, RAX);  // committed only after writeback
+      } else {
+        StoreGuestReg(static_cast<Reg>(r), RAX);
+      }
+    } else {
+      if (r == arm::PC) {
+        e_.MovRegImm32(RDX, va + 8);  // STM with PC stores insn_addr + 8
+      } else {
+        LoadGuestReg(RAX, static_cast<Reg>(r));
+        e_.MovRegReg32(RDX, RAX);
+      }
+      e_.MovRegReg64(RDI, RBP);
+      e_.MovRegImm32(RCX, va);
+      EmitHelperCall(reinterpret_cast<uint64_t>(&komodo_jit_store_word));
+      EmitStatusCheck();
+    }
+    e_.AluRegImm32(Alu::kAdd, R12, 4);
+  }
+
+  if (i.block_wback) {
+    // LDM that also loads the base register wins over writeback.
+    const bool base_loaded = is_load && ((i.reg_list >> i.rn) & 1) != 0;
+    if (!base_loaded) {
+      e_.MovRegReg32(RAX, R14);
+      e_.AluRegImm32(i.mem_add ? Alu::kAdd : Alu::kSub, RAX, 4 * count);
+      StoreGuestReg(i.rn, RAX);
+    }
+  }
+  if (!is_load) {
+    EmitRestartCheck(va);
+  }
+  if (is_load && ((i.reg_list >> arm::PC) & 1) != 0) {
+    e_.AluRegImm32(Alu::kAnd, R13, ~3u);
+    e_.StoreMem32(RBX, kOffPc, R13);
+    EmitChargeCycles(kCosts.branch_taken);
+    EmitExitConst(0);
+  }
+}
+
+void BlockCompiler::EmitBranch(const Instruction& i, word va) {
+  EmitChargeCycles(kCosts.branch_taken);
+  if (i.op == Op::kBx) {
+    LoadGuestReg(RAX, i.rm);
+    e_.AluRegImm32(Alu::kAnd, RAX, ~3u);
+    e_.StoreMem32(RBX, kOffPc, RAX);
+    EmitExitConst(0);
+    return;
+  }
+  if (i.op == Op::kBl) {
+    e_.MovRegImm32(RAX, va + 4);
+    StoreGuestReg(arm::LR, RAX);
+  }
+  const word target =
+      static_cast<word>(static_cast<int64_t>(va) + 8 + i.branch_offset);
+  e_.StoreMemImm32(RBX, kOffPc, target);
+  EmitExitConst(0);
+}
+
+void BlockCompiler::EmitInsn(const Instruction& i, word va) {
+  e_.AddMem64Imm(RBX, kOffSteps, 1);
+  const std::vector<size_t> fails = EmitCondFail(i.cond);
+
+  switch (i.op) {
+    case Op::kMul:
+      EmitMul(i);
+      break;
+    case Op::kMovw:
+    case Op::kMovt:
+      EmitMovwMovt(i);
+      break;
+    case Op::kLdr:
+    case Op::kStr:
+    case Op::kLdrb:
+    case Op::kStrb:
+      EmitMemSingle(i, va);
+      break;
+    case Op::kLdm:
+    case Op::kStm:
+      EmitBlockTransfer(i, va);
+      break;
+    case Op::kB:
+    case Op::kBl:
+    case Op::kBx:
+      EmitBranch(i, va);
+      break;
+    default:
+      EmitDataProcessing(i, va);
+      break;
+  }
+
+  if (i.cond != Cond::kAl) {
+    if (IsTerminator(i)) {
+      // The body exited; a failed condition retires as a 1-cycle fall-through.
+      for (const size_t f : fails) {
+        e_.BindForward(f);
+      }
+      EmitChargeCycles(kCosts.alu);
+      e_.StoreMemImm32(RBX, kOffPc, va + 4);
+      EmitExitConst(0);
+    } else {
+      const size_t next = e_.JmpForward();
+      for (const size_t f : fails) {
+        e_.BindForward(f);
+      }
+      EmitChargeCycles(kCosts.alu);
+      e_.BindForward(next);
+    }
+  }
+}
+
+CompiledBlock BlockCompiler::Compile(const arm::PhysMemory& mem, arm::vaddr va,
+                                     arm::paddr phys) {
+  // Gather the straight-line run of translatable instructions. Blocks never
+  // cross a physical page: one page-generation tag validates the whole block.
+  std::vector<Instruction> insns;
+  bool terminated = false;
+  while (insns.size() < kMaxBlockInsns) {
+    const arm::paddr p = phys + 4 * static_cast<arm::paddr>(insns.size());
+    if (arm::PageBase(p) != arm::PageBase(phys)) {
+      break;
+    }
+    const std::optional<Instruction> d = arm::Decode(mem.Read(p));
+    if (!d.has_value() || !Jitable(*d)) {
+      break;
+    }
+    insns.push_back(*d);
+    if (IsTerminator(*d)) {
+      terminated = true;
+      break;
+    }
+  }
+  CompiledBlock out;
+  if (insns.empty()) {
+    return out;
+  }
+  EmitPrologue();
+  for (size_t k = 0; k < insns.size(); ++k) {
+    EmitInsn(insns[k], va + 4 * static_cast<word>(k));
+  }
+  if (!terminated) {
+    e_.StoreMemImm32(RBX, kOffPc, va + 4 * static_cast<word>(insns.size()));
+    EmitExitConst(0);
+  }
+  out.code = e_.code();
+  out.len_words = static_cast<uint32_t>(insns.size());
+  return out;
+}
+
+}  // namespace
+
+CompiledBlock CompileBlock(const arm::PhysMemory& mem, arm::vaddr va, arm::paddr phys) {
+  BlockCompiler c;
+  return c.Compile(mem, va, phys);
+}
+
+}  // namespace komodo::jit

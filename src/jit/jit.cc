@@ -1,0 +1,183 @@
+// JIT engine: per-machine enabled flag (KOMODO_JIT), the executable code
+// cache with generation-validated block lookup, and the dispatch entry the
+// interpreter's RunUntilException loop calls.
+#include "src/jit/jit.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/arm/execute.h"
+#include "src/arm/machine.h"
+#include "src/jit/jit_internal.h"
+
+#if defined(__x86_64__) && (defined(__linux__) || defined(__APPLE__))
+#define KOMODO_JIT_HAVE_X64 1
+#include <sys/mman.h>
+#else
+#define KOMODO_JIT_HAVE_X64 0
+#endif
+
+namespace komodo::jit {
+
+bool Available() { return KOMODO_JIT_HAVE_X64 != 0; }
+
+namespace {
+
+// Mirrors interp_cache.cc's KOMODO_INTERP_CACHE gate: default on, any of
+// off/0/false disables.
+bool EnvEnabled() {
+  const char* v = std::getenv("KOMODO_JIT");
+  if (v == nullptr) {
+    return true;
+  }
+  return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+
+}  // namespace
+
+JitState::JitState() : enabled_(Available() && EnvEnabled()) {}
+
+JitState::JitState(const JitState& o) : enabled_(o.enabled_) {}
+
+JitState& JitState::operator=(const JitState& o) {
+  enabled_ = o.enabled_;
+  InvalidateAll();
+  return *this;
+}
+
+JitState::~JitState() = default;
+
+void JitState::set_enabled(bool on) {
+  enabled_ = on && Available();
+  InvalidateAll();
+}
+
+void JitState::InvalidateAll() {
+  if (engine_ != nullptr) {
+    engine_->InvalidateAll();
+  }
+}
+
+Engine* JitState::GetEngine() {
+  if (engine_ == nullptr) {
+    engine_ = Engine::Create();
+    if (engine_ == nullptr) {
+      enabled_ = false;  // executable mapping unavailable: interpreter-only
+    }
+  }
+  return engine_.get();
+}
+
+std::unique_ptr<Engine> Engine::Create() {
+#if KOMODO_JIT_HAVE_X64
+  void* p = mmap(nullptr, kCodeBytes, PROT_READ | PROT_WRITE | PROT_EXEC,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    return nullptr;
+  }
+  std::unique_ptr<Engine> eng(new Engine());
+  eng->buf_ = static_cast<uint8_t*>(p);
+  return eng;
+#else
+  return nullptr;
+#endif
+}
+
+Engine::~Engine() {
+#if KOMODO_JIT_HAVE_X64
+  if (buf_ != nullptr) {
+    munmap(buf_, kCodeBytes);
+  }
+#endif
+}
+
+BlockEntry* Engine::LookupOrTranslate(const arm::MachineState& m, arm::paddr phys,
+                                      arm::vaddr va, JitStats& st) {
+  BlockEntry& e = table_[(phys >> 2) & (kTableEntries - 1)];
+  if (e.kind != BlockKind::kEmpty && e.epoch == epoch_ && e.phys == phys &&
+      e.va == va) {
+    if (m.mem.PageGenAt(e.gen_idx) == e.gen) {
+      return &e;
+    }
+    ++st.block_invalidations;  // self-modifying code / page reuse
+  }
+  CompiledBlock cb = CompileBlock(m.mem, va, phys);
+  e.phys = phys;
+  e.va = va;
+  e.epoch = epoch_;
+  e.gen_idx = m.mem.PageIndexOf(phys);
+  e.gen = m.mem.PageGenAt(e.gen_idx);
+  if (cb.len_words == 0) {
+    // Head instruction is outside the hot subset; cache that verdict so the
+    // dispatcher declines in O(1) on repeats (e.g. a hot SVC loop).
+    e.kind = BlockKind::kInterpretOne;
+    e.len_words = 1;
+    e.fn = nullptr;
+    return &e;
+  }
+  if (used_ + cb.code.size() > kCodeBytes) {
+    // Code buffer exhausted: orphan everything and start over.
+    ++epoch_;
+    e.epoch = epoch_;
+    used_ = 0;
+    ++st.code_cache_flushes;
+    if (cb.code.size() > kCodeBytes) {
+      e.kind = BlockKind::kEmpty;
+      return nullptr;
+    }
+  }
+  std::memcpy(buf_ + used_, cb.code.data(), cb.code.size());
+  e.fn = reinterpret_cast<BlockFn>(buf_ + used_);
+  used_ += cb.code.size();
+  e.kind = BlockKind::kCompiled;
+  e.len_words = cb.len_words;
+  ++st.blocks_translated;
+  return &e;
+}
+
+RunOutcome TryRunBlock(arm::MachineState& m, uint64_t max_steps) {
+  RunOutcome out;
+  JitState& js = m.jit;
+  JitStats& st = js.mutable_stats();
+  Engine* eng = js.GetEngine();
+  if (eng == nullptr) {
+    ++st.fallback_steps;
+    return out;
+  }
+  // A deliverable interrupt preempts the fetch; let the interpreter take it.
+  if ((m.pending_fiq && !m.cpsr.fiq_masked) ||
+      (m.pending_irq && !m.cpsr.irq_masked)) {
+    ++st.fallback_steps;
+    return out;
+  }
+  const arm::word pc = m.pc;
+  if (!arm::IsWordAligned(pc)) {
+    ++st.fallback_steps;  // prefetch abort: interpreter path
+    return out;
+  }
+  const arm::Translation fetch = arm::TranslateAddress(m, pc, arm::Access::kFetch);
+  if (!fetch.ok) {
+    ++st.fallback_steps;
+    return out;
+  }
+  BlockEntry* e = eng->LookupOrTranslate(m, fetch.phys, pc, st);
+  if (e == nullptr || e->kind != BlockKind::kCompiled || e->len_words > max_steps) {
+    ++st.fallback_steps;
+    return out;
+  }
+  JitRt rt{&m, e->phys, e->phys + 4 * e->len_words, 0, 0};
+  const uint64_t steps_before = m.steps_retired;
+  const uint64_t code = e->fn(&m, &rt);
+  out.ran = true;
+  out.steps = m.steps_retired - steps_before;
+  ++st.block_hits;
+  st.jit_steps += out.steps;
+  if ((code & kExitExceptionBit) != 0) {
+    out.took_exception = true;
+    out.exception = static_cast<arm::Exception>(code & 0xff);
+  }
+  return out;
+}
+
+}  // namespace komodo::jit

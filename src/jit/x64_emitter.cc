@@ -1,0 +1,299 @@
+#include "src/jit/x64_emitter.h"
+
+#include <cassert>
+
+namespace komodo::jit {
+
+void X64Emitter::B32(uint32_t v) {
+  B(static_cast<uint8_t>(v));
+  B(static_cast<uint8_t>(v >> 8));
+  B(static_cast<uint8_t>(v >> 16));
+  B(static_cast<uint8_t>(v >> 24));
+}
+
+void X64Emitter::B64(uint64_t v) {
+  B32(static_cast<uint32_t>(v));
+  B32(static_cast<uint32_t>(v >> 32));
+}
+
+void X64Emitter::Rex(bool w, int reg, int rm) {
+  uint8_t rex = 0x40;
+  if (w) {
+    rex |= 0x08;
+  }
+  if (reg >= 8) {
+    rex |= 0x04;
+  }
+  if (rm >= 8) {
+    rex |= 0x01;
+  }
+  if (rex != 0x40) {
+    B(rex);
+  }
+}
+
+void X64Emitter::ModRmDisp32(int reg, int base, int32_t disp) {
+  B(static_cast<uint8_t>(0x80 | ((reg & 7) << 3) | (base & 7)));
+  if ((base & 7) == RSP) {
+    B(0x24);  // SIB: no index, base = rsp/r12
+  }
+  B32(static_cast<uint32_t>(disp));
+}
+
+void X64Emitter::ModRmIndex32(int reg, int base, int index, int32_t disp) {
+  assert((index & 7) != RSP);
+  B(static_cast<uint8_t>(0x80 | ((reg & 7) << 3) | RSP));  // rm=100: SIB
+  B(static_cast<uint8_t>(0x80 | ((index & 7) << 3) | (base & 7)));  // scale*4
+  B32(static_cast<uint32_t>(disp));
+}
+
+void X64Emitter::PushR64(int r) {
+  if (r >= 8) {
+    B(0x41);
+  }
+  B(static_cast<uint8_t>(0x50 | (r & 7)));
+}
+
+void X64Emitter::PopR64(int r) {
+  if (r >= 8) {
+    B(0x41);
+  }
+  B(static_cast<uint8_t>(0x58 | (r & 7)));
+}
+
+void X64Emitter::Ret() { B(0xc3); }
+
+void X64Emitter::CallReg(int r) {
+  if (r >= 8) {
+    B(0x41);
+  }
+  B(0xff);
+  B(static_cast<uint8_t>(0xd0 | (r & 7)));  // mod=11 /2
+}
+
+size_t X64Emitter::JccForward(uint8_t cc) {
+  B(0x0f);
+  B(static_cast<uint8_t>(0x80 | cc));
+  const size_t fixup = buf_.size();
+  B32(0);
+  return fixup;
+}
+
+size_t X64Emitter::JmpForward() {
+  B(0xe9);
+  const size_t fixup = buf_.size();
+  B32(0);
+  return fixup;
+}
+
+void X64Emitter::BindForward(size_t fixup) {
+  const uint32_t rel = static_cast<uint32_t>(buf_.size() - (fixup + 4));
+  buf_[fixup] = static_cast<uint8_t>(rel);
+  buf_[fixup + 1] = static_cast<uint8_t>(rel >> 8);
+  buf_[fixup + 2] = static_cast<uint8_t>(rel >> 16);
+  buf_[fixup + 3] = static_cast<uint8_t>(rel >> 24);
+}
+
+void X64Emitter::MovRegImm64(int r, uint64_t v) {
+  Rex(true, 0, r);
+  B(static_cast<uint8_t>(0xb8 | (r & 7)));
+  B64(v);
+}
+
+void X64Emitter::MovRegImm32(int r, uint32_t v) {
+  Rex(false, 0, r);
+  B(static_cast<uint8_t>(0xb8 | (r & 7)));
+  B32(v);
+}
+
+void X64Emitter::MovRegReg32(int dst, int src) {
+  Rex(false, dst, src);
+  B(0x8b);
+  B(static_cast<uint8_t>(0xc0 | ((dst & 7) << 3) | (src & 7)));
+}
+
+void X64Emitter::MovRegReg64(int dst, int src) {
+  Rex(true, dst, src);
+  B(0x8b);
+  B(static_cast<uint8_t>(0xc0 | ((dst & 7) << 3) | (src & 7)));
+}
+
+void X64Emitter::XchgRegReg32(int a, int b) {
+  Rex(false, a, b);
+  B(0x87);
+  B(static_cast<uint8_t>(0xc0 | ((a & 7) << 3) | (b & 7)));
+}
+
+void X64Emitter::LoadMem32(int dst, int base, int32_t disp) {
+  Rex(false, dst, base);
+  B(0x8b);
+  ModRmDisp32(dst, base, disp);
+}
+
+void X64Emitter::StoreMem32(int base, int32_t disp, int src) {
+  Rex(false, src, base);
+  B(0x89);
+  ModRmDisp32(src, base, disp);
+}
+
+void X64Emitter::StoreMemImm32(int base, int32_t disp, uint32_t imm) {
+  Rex(false, 0, base);
+  B(0xc7);
+  ModRmDisp32(0, base, disp);
+  B32(imm);
+}
+
+void X64Emitter::LoadMemZx8(int dst, int base, int32_t disp) {
+  Rex(false, dst, base);
+  B(0x0f);
+  B(0xb6);
+  ModRmDisp32(dst, base, disp);
+}
+
+void X64Emitter::LoadMem8(int dst, int base, int32_t disp) {
+  assert(dst < 4 || dst >= 8);  // low byte addressable without REX tricks
+  Rex(false, dst, base);
+  B(0x8a);
+  ModRmDisp32(dst, base, disp);
+}
+
+void X64Emitter::StoreMem8(int base, int32_t disp, int src) {
+  assert(src < 4 || src >= 8);
+  Rex(false, src, base);
+  B(0x88);
+  ModRmDisp32(src, base, disp);
+}
+
+void X64Emitter::StoreMemImm8(int base, int32_t disp, uint8_t imm) {
+  Rex(false, 0, base);
+  B(0xc6);
+  ModRmDisp32(0, base, disp);
+  B(imm);
+}
+
+void X64Emitter::LoadIndex32(int dst, int base, int index, int32_t disp) {
+  Rex(false, dst, base);  // index is always < 8 here (asserted)
+  assert(index < 8);
+  B(0x8b);
+  ModRmIndex32(dst, base, index, disp);
+}
+
+void X64Emitter::StoreIndex32(int base, int index, int32_t disp, int src) {
+  assert(index < 8);
+  Rex(false, src, base);
+  B(0x89);
+  ModRmIndex32(src, base, index, disp);
+}
+
+void X64Emitter::AluRegReg32(Alu op, int dst, int src) {
+  Rex(false, dst, src);
+  B(static_cast<uint8_t>((static_cast<uint8_t>(op) << 3) | 0x03));
+  B(static_cast<uint8_t>(0xc0 | ((dst & 7) << 3) | (src & 7)));
+}
+
+void X64Emitter::AluRegImm32(Alu op, int r, uint32_t imm) {
+  Rex(false, 0, r);
+  const int32_t simm = static_cast<int32_t>(imm);
+  if (simm >= -128 && simm <= 127) {
+    B(0x83);
+    B(static_cast<uint8_t>(0xc0 | (static_cast<uint8_t>(op) << 3) | (r & 7)));
+    B(static_cast<uint8_t>(imm));
+  } else {
+    B(0x81);
+    B(static_cast<uint8_t>(0xc0 | (static_cast<uint8_t>(op) << 3) | (r & 7)));
+    B32(imm);
+  }
+}
+
+void X64Emitter::TestRegReg32(int a, int b) {
+  Rex(false, b, a);
+  B(0x85);
+  B(static_cast<uint8_t>(0xc0 | ((b & 7) << 3) | (a & 7)));
+}
+
+void X64Emitter::TestRegImm32(int r, uint32_t imm) {
+  Rex(false, 0, r);
+  B(0xf7);
+  B(static_cast<uint8_t>(0xc0 | (r & 7)));  // /0
+  B32(imm);
+}
+
+void X64Emitter::NotReg32(int r) {
+  Rex(false, 0, r);
+  B(0xf7);
+  B(static_cast<uint8_t>(0xd0 | (r & 7)));  // /2
+}
+
+void X64Emitter::ImulRegReg32(int dst, int src) {
+  Rex(false, dst, src);
+  B(0x0f);
+  B(0xaf);
+  B(static_cast<uint8_t>(0xc0 | ((dst & 7) << 3) | (src & 7)));
+}
+
+void X64Emitter::ShiftRegImm32(Sh k, int r, uint8_t amount) {
+  assert(amount >= 1 && amount <= 31);
+  Rex(false, 0, r);
+  B(0xc1);
+  B(static_cast<uint8_t>(0xc0 | (static_cast<uint8_t>(k) << 3) | (r & 7)));
+  B(amount);
+}
+
+void X64Emitter::BtRegImm32(int r, uint8_t bit) {
+  Rex(false, 0, r);
+  B(0x0f);
+  B(0xba);
+  B(static_cast<uint8_t>(0xe0 | (r & 7)));  // /4
+  B(bit);
+}
+
+void X64Emitter::ShrReg64Imm(int r, uint8_t amount) {
+  Rex(true, 0, r);
+  B(0xc1);
+  B(static_cast<uint8_t>(0xe8 | (r & 7)));  // /5
+  B(amount);
+}
+
+void X64Emitter::CmpMem8Imm(int base, int32_t disp, uint8_t imm) {
+  Rex(false, 0, base);
+  B(0x80);
+  ModRmDisp32(7, base, disp);  // /7 = cmp
+  B(imm);
+}
+
+void X64Emitter::CmpReg8Mem8(int reg, int base, int32_t disp) {
+  assert(reg < 4 || reg >= 8);
+  Rex(false, reg, base);
+  B(0x3a);
+  ModRmDisp32(reg, base, disp);
+}
+
+void X64Emitter::AddMem64Imm(int base, int32_t disp, uint32_t imm) {
+  Rex(true, 0, base);
+  if (imm <= 127) {
+    B(0x83);
+    ModRmDisp32(0, base, disp);  // /0 = add
+    B(static_cast<uint8_t>(imm));
+  } else {
+    B(0x81);
+    ModRmDisp32(0, base, disp);
+    B32(imm);
+  }
+}
+
+void X64Emitter::SetccReg8(uint8_t cc, int reg) {
+  assert(reg < 4 || reg >= 8);
+  Rex(false, 0, reg);
+  B(0x0f);
+  B(static_cast<uint8_t>(0x90 | cc));
+  B(static_cast<uint8_t>(0xc0 | (reg & 7)));
+}
+
+void X64Emitter::SetccMem8(uint8_t cc, int base, int32_t disp) {
+  Rex(false, 0, base);
+  B(0x0f);
+  B(static_cast<uint8_t>(0x90 | cc));
+  ModRmDisp32(0, base, disp);
+}
+
+}  // namespace komodo::jit

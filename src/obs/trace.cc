@@ -163,6 +163,12 @@ void Observability::Accumulate(std::map<uint32_t, CallStats>& stats, uint32_t ca
   s.tlb_hits += end.tlb_hits - pending.begin.tlb_hits;
   s.tlb_misses += end.tlb_misses - pending.begin.tlb_misses;
   s.tlb_flushes += end.tlb_flushes - pending.begin.tlb_flushes;
+  s.jit_blocks_translated += end.jit_blocks_translated - pending.begin.jit_blocks_translated;
+  s.jit_block_hits += end.jit_block_hits - pending.begin.jit_block_hits;
+  s.jit_block_invalidations +=
+      end.jit_block_invalidations - pending.begin.jit_block_invalidations;
+  s.jit_fallback_steps += end.jit_fallback_steps - pending.begin.jit_fallback_steps;
+  s.jit_steps += end.jit_steps - pending.begin.jit_steps;
 }
 
 void Observability::EndCall(EventKind kind, uint32_t call, const char* name, uint32_t err,
@@ -302,6 +308,14 @@ void WriteCallStats(JsonWriter& w, const std::map<uint32_t, CallStats>& stats) {
     w.KV("decode_misses", s.decode_misses);
     w.KV("tlb_hits", s.tlb_hits);
     w.KV("tlb_misses", s.tlb_misses);
+    w.EndObject();
+    w.Key("jit");
+    w.BeginObject();
+    w.KV("blocks_translated", s.jit_blocks_translated);
+    w.KV("block_hits", s.jit_block_hits);
+    w.KV("block_invalidations", s.jit_block_invalidations);
+    w.KV("fallback_steps", s.jit_fallback_steps);
+    w.KV("jit_steps", s.jit_steps);
     w.EndObject();
     w.KV("tlb_flushes", s.tlb_flushes);
     w.EndObject();

@@ -90,6 +90,54 @@ TEST_F(TlbCacheTest, UnmapIsSeen) {
   EXPECT_FALSE(caches.TlbWalk(mem_, l1_base_, 0x8000).ok);
 }
 
+// TLBIALL, TTBR writes and SCR.NS world switches deliberately leave the
+// micro-TLB warm (machine.cc): the tags already guarantee coherence, and the
+// warm entries are what makes the SMC world-switch round trip cheap. This
+// pins both halves — a hit after the CP15 churn, and correctness if the
+// descriptors changed underneath it meanwhile.
+TEST(TlbWarmAcrossFlush, Cp15ChurnKeepsEntriesAndStaysCoherent) {
+  MachineState m(64);
+  m.interp.set_enabled(true);
+  const paddr l1_base = kSecurePagesBase;
+  const paddr l2_page = kSecurePagesBase + kPageSize;
+  for (word k = 0; k < kL2TablesPerPage; ++k) {
+    m.mem.Write(l1_base + k * kWordSize,
+                MakeL1PageTableDesc(l2_page + k * kL2TableBytes));
+  }
+  auto map = [&](vaddr va, paddr page) {
+    const word slot = (va >> 12) & 0x3ff;
+    m.mem.Write(l2_page + slot * kWordSize,
+                MakeL2SmallPageDesc(page, /*w=*/true, /*x=*/false, false));
+  };
+  map(0x8000, kSecurePagesBase + 2 * kPageSize);
+
+  m.cpsr.mode = Mode::kMonitor;
+  m.WriteTtbr0(l1_base);
+  m.FlushTlb();
+  ASSERT_TRUE(m.interp.TlbWalk(m.mem, m.ttbr0, 0x8000).ok);
+  ASSERT_EQ(m.interp.stats().tlb_misses, 1u);
+
+  // The full world-switch round trip: TLBIALL, hop to the normal world and
+  // back, rewrite TTBR0 with the same base. None of it may evict the entry.
+  m.FlushTlb();
+  m.SetScrNs(true);
+  m.SetScrNs(false);
+  m.WriteTtbr0(l1_base);
+  m.FlushTlb();
+  const WalkResult warm = m.interp.TlbWalk(m.mem, m.ttbr0, 0x8000);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_EQ(warm.phys, kSecurePagesBase + 2 * kPageSize);
+  EXPECT_EQ(m.interp.stats().tlb_hits, 1u) << "CP15 churn evicted a valid entry";
+
+  // And staying warm must not mean staying stale: a descriptor rewrite with
+  // no flush at all is still seen (generation tags, not flushes, are the
+  // coherence mechanism).
+  map(0x8000, kSecurePagesBase + 3 * kPageSize);
+  const WalkResult remapped = m.interp.TlbWalk(m.mem, m.ttbr0, 0x8000);
+  ASSERT_TRUE(remapped.ok);
+  EXPECT_EQ(remapped.phys, kSecurePagesBase + 3 * kPageSize);
+}
+
 TEST_F(TlbCacheTest, InvalidateTlbDropsEverything) {
   Map(0x8000, SecurePage(2), true, false);
   InterpCaches caches;
