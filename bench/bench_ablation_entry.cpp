@@ -26,11 +26,11 @@ class ExitProgram : public enclave::NativeProgram {
 uint64_t MeasureEnterExit(const Monitor::Config& config) {
   os::World w(128, config);
   enclave::NativeRuntime runtime(w.monitor);
-  os::Os::BuildOptions opts;
-  os::EnclaveHandle e;
-  if (w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e) != kErrSuccess) {
+  auto built = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).Build();
+  if (!built.ok()) {
     std::abort();
   }
+  const os::EnclaveHandle e = *std::move(built);
   runtime.Register(e.l1pt, std::make_shared<ExitProgram>());
   w.os.Enter(e.thread);  // warm: second entry can exploit the redundant-flush skip
   const uint64_t before = w.machine.cycles.total();

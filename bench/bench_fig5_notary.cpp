@@ -65,7 +65,7 @@ struct NotaryRig {
     }
     program = std::make_shared<enclave::NotaryProgram>(key_seed);
     runtime.Register(l1pt, program);
-    if (w.os.Enter(thread, enclave::kNotaryCmdInit).err != kErrSuccess) {
+    if (!w.os.Enter(thread, enclave::kNotaryCmdInit).exited()) {
       std::abort();
     }
   }
@@ -82,8 +82,7 @@ struct NotaryRig {
 
   uint64_t NotarizeCycles(size_t len) {
     const uint64_t before = w.machine.cycles.total();
-    if (w.os.Enter(thread, enclave::kNotaryCmdNotarize, static_cast<word>(len)).err !=
-        kErrSuccess) {
+    if (!w.os.Enter(thread, enclave::kNotaryCmdNotarize, static_cast<word>(len)).exited()) {
       std::abort();
     }
     return w.machine.cycles.total() - before;

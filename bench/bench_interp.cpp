@@ -54,12 +54,11 @@ struct RunStats {
 RunStats RunNotary(Config cfg, size_t doc_len, int iters) {
   os::World w{64};
   Apply(cfg, w.machine);
-  os::Os::BuildOptions opts;
-  opts.with_shared_page = true;
-  os::EnclaveHandle e;
-  if (w.os.BuildEnclave(enclave::Sha256Program(), &opts, &e) != kErrSuccess) {
+  auto built = w.os.NewEnclave().Code(enclave::Sha256Program()).SharedPage().Build();
+  if (!built.ok()) {
     std::abort();
   }
+  const os::EnclaveHandle e = *std::move(built);
   std::vector<uint8_t> doc(doc_len);
   for (size_t i = 0; i < doc_len; ++i) {
     doc[i] = static_cast<uint8_t>(i * 131 + 7);
@@ -68,8 +67,8 @@ RunStats RunNotary(Config cfg, size_t doc_len, int iters) {
   const uint64_t cycles0 = w.machine.cycles.total();
   const auto t0 = Clock::now();
   for (int i = 0; i < iters; ++i) {
-    const word nblocks = enclave::StageSha256Message(w.os, opts.shared_insecure_pgnr, doc);
-    if (w.os.Enter(e.thread, nblocks).err != kErrSuccess) {
+    const word nblocks = enclave::StageSha256Message(w.os, e.shared_insecure_pgnr, doc);
+    if (!w.os.Enter(e.thread, nblocks).exited()) {
       std::abort();
     }
   }
@@ -82,16 +81,16 @@ RunStats RunNotary(Config cfg, size_t doc_len, int iters) {
 RunStats RunSmcRoundTrip(Config cfg, int iters) {
   os::World w{64};
   Apply(cfg, w.machine);
-  os::Os::BuildOptions opts;
-  os::EnclaveHandle e;
-  if (w.os.BuildEnclave(enclave::AddTwoProgram(), &opts, &e) != kErrSuccess) {
+  auto built = w.os.NewEnclave().Code(enclave::AddTwoProgram()).Build();
+  if (!built.ok()) {
     std::abort();
   }
+  const os::EnclaveHandle e = *std::move(built);
   const uint64_t steps0 = w.machine.steps_retired;
   const uint64_t cycles0 = w.machine.cycles.total();
   const auto t0 = Clock::now();
   for (int i = 0; i < iters; ++i) {
-    if (w.os.Enter(e.thread, 2, 3).err != kErrSuccess) {
+    if (!w.os.Enter(e.thread, 2, 3).exited()) {
       std::abort();
     }
   }

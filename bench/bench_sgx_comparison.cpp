@@ -48,11 +48,11 @@ class MapDataProgram : public enclave::NativeProgram {
 KomodoCrossings MeasureKomodo() {
   os::World w{128};
   enclave::NativeRuntime runtime(w.monitor);
-  os::Os::BuildOptions opts;
-  os::EnclaveHandle e;
-  if (w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e) != kErrSuccess) {
+  auto built = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).Build();
+  if (!built.ok()) {
     std::abort();
   }
+  const os::EnclaveHandle e = *std::move(built);
   auto exit_program = std::make_shared<ExitProgram>();
   runtime.Register(e.l1pt, exit_program);
 

@@ -62,10 +62,11 @@ struct Bench {
 
   Bench() {
     probe = std::make_shared<ProbeProgram>(w.machine);
-    os::Os::BuildOptions opts;
-    if (w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e) != kErrSuccess) {
+    auto built = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).Build();
+    if (!built.ok()) {
       std::abort();
     }
+    e = *std::move(built);
     runtime.Register(e.l1pt, probe);
   }
 
@@ -105,7 +106,7 @@ Table3Results MeasureTable3() {
   // Resume only: suspend via an injected interrupt, then measure Resume up to
   // the point user execution continues.
   b.w.machine.pending_irq = true;
-  if (b.w.os.Enter(b.e.thread).err != kErrInterrupted) {
+  if (!b.w.os.Enter(b.e.thread).interrupted()) {
     std::abort();
   }
   b.probe->Script({UserAction::Exit(0)});

@@ -28,11 +28,12 @@ void Check(const char* attack, bool rejected, const char* how) {
 
 int main() {
   os::World world{64};
-  os::Os::BuildOptions opts;
   os::EnclaveHandle victim;
-  if (world.os.BuildEnclave(enclave::DrillVictimProgram(), &opts, &victim) != kErrSuccess) {
+  auto built_victim = world.os.NewEnclave().Code(enclave::DrillVictimProgram()).Build();
+  if (!built_victim.ok()) {
     return 1;
   }
+  victim = *std::move(built_victim);
   // A secret arrives in the victim (modelled as a secure-channel delivery).
   world.machine.mem.Write(PagePaddr(victim.data_pages[1]), 0x5ec23e);
 
@@ -44,7 +45,6 @@ int main() {
 
   // 2. §9.1 bug #2: feed the monitor's own image as "insecure" content.
   os::EnclaveHandle drone;
-  os::Os::BuildOptions dopts;
   // Build a half-constructed enclave to attack with.
   world.os.InitAddrspace(41, 42);
   world.os.InitL2Table(41, 43, 0);
@@ -85,13 +85,13 @@ int main() {
   // 7. Re-enter a suspended thread (context confusion).
   //    Interrupt the victim first.
   world.machine.pending_irq = true;
-  const os::SmcRet interrupted = world.os.Enter(victim.thread);
+  const os::EnterResult interrupted = world.os.Enter(victim.thread);
   Check("interrupt reported without enclave state",
-        interrupted.err == kErrInterrupted && interrupted.val == 0, "only the fact itself");
+        interrupted.interrupted() && interrupted.payload == 0, "only the fact itself");
   Check("Enter on a suspended thread",
-        world.os.Enter(victim.thread).err == kErrAlreadyEntered, "kErrAlreadyEntered");
-  const os::SmcRet resumed = world.os.Resume(victim.thread);
-  Check("victim resumes and completes", resumed.err == kErrSuccess, "kErrSuccess");
+        world.os.Enter(victim.thread).err == KomErr::kAlreadyEntered, "kErrAlreadyEntered");
+  const os::EnterResult resumed = world.os.Resume(victim.thread);
+  Check("victim resumes and completes", resumed.exited(), "kErrSuccess");
 
   // 8. Direct physical access from the normal world (TrustZone filter).
   {
@@ -114,6 +114,5 @@ int main() {
 
   std::printf("\n%s\n", failures == 0 ? "all attacks blocked." : "ATTACKS GOT THROUGH!");
   (void)drone;
-  (void)dopts;
   return failures == 0 ? 0 : 1;
 }

@@ -20,14 +20,14 @@ struct Built {
 };
 
 Built Build(os::World& world, const std::vector<word>& code) {
-  os::Os::BuildOptions opts;
-  opts.with_shared_page = true;
-  os::EnclaveHandle e;
-  if (world.os.BuildEnclave(code, &opts, &e) != kErrSuccess) {
+  auto built = world.os.NewEnclave().Code(code).SharedPage().Build();
+  if (!built.ok()) {
     std::printf("build failed\n");
     std::exit(1);
   }
-  return {e, opts.shared_insecure_pgnr};
+  os::EnclaveHandle e = *std::move(built);
+  const word shared_pg = e.shared_insecure_pgnr;
+  return {e, shared_pg};
 }
 
 }  // namespace
@@ -38,7 +38,7 @@ int main() {
   const Built verifier = Build(world, enclave::VerifyProgram());
 
   // The attestor binds user data (derived from 0x1000) to its identity.
-  if (world.os.Enter(attestor.handle.thread, 0x1000).err != kErrSuccess) {
+  if (!world.os.Enter(attestor.handle.thread, 0x1000).exited()) {
     return 1;
   }
   std::printf("attestor produced a MAC over (measurement, data)\n");
@@ -54,15 +54,15 @@ int main() {
     world.os.WriteInsecure(verifier.shared_pg, 16 + i,
                            world.os.ReadInsecure(attestor.shared_pg, i));
   }
-  os::SmcRet r = world.os.Enter(verifier.handle.thread);
-  std::printf("verifier says: %s\n", r.val == 1 ? "genuine" : "FORGED");
-  if (r.val != 1) {
+  os::EnterResult r = world.os.Enter(verifier.handle.thread);
+  std::printf("verifier says: %s\n", r.payload == 1 ? "genuine" : "FORGED");
+  if (r.payload != 1) {
     return 1;
   }
 
   // A man-in-the-middle OS flips one bit of the payload: verification fails.
   world.os.WriteInsecure(verifier.shared_pg, 0, 0x1001);
   r = world.os.Enter(verifier.handle.thread);
-  std::printf("after OS tampering: %s\n", r.val == 1 ? "genuine (BUG!)" : "rejected");
-  return r.val == 0 ? 0 : 1;
+  std::printf("after OS tampering: %s\n", r.payload == 1 ? "genuine (BUG!)" : "rejected");
+  return r.payload == 0 ? 0 : 1;
 }

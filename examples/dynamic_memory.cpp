@@ -34,11 +34,11 @@ const char* TypeName(PageType t) {
 
 int main() {
   os::World world{64};
-  os::Os::BuildOptions opts;
-  os::EnclaveHandle e;
-  if (world.os.BuildEnclave(enclave::HeapProgram(), &opts, &e) != kErrSuccess) {
+  auto built = world.os.NewEnclave().Code(enclave::HeapProgram()).Build();
+  if (!built.ok()) {
     return 1;
   }
+  const os::EnclaveHandle e = *std::move(built);
 
   const PageNr spare_used = world.os.AllocSecurePage();
   const PageNr spare_kept = world.os.AllocSecurePage();
@@ -46,8 +46,8 @@ int main() {
   world.os.AllocSpare(e.addrspace, spare_kept);
   std::printf("OS donated spare pages %u and %u\n", spare_used, spare_kept);
 
-  const os::SmcRet r = world.os.Enter(e.thread, spare_used, spare_kept);
-  std::printf("enclave mapped a heap page and read back 0x%x\n", r.val);
+  const os::EnterResult r = world.os.Enter(e.thread, spare_used, spare_kept);
+  std::printf("enclave mapped a heap page and read back 0x%x\n", r.payload);
 
   auto db = spec::ExtractPageDb(world.machine);
   std::printf("page %u is now: %s (the OS cannot see this directly)\n", spare_used,
@@ -61,5 +61,5 @@ int main() {
               KomErrName(used.err));
   std::printf("Remove(untouched spare) -> %s\n", KomErrName(kept.err));
 
-  return (used.err == kErrNotStopped && kept.err == kErrSuccess && r.val == 0xfeed) ? 0 : 1;
+  return (used.err == kErrNotStopped && kept.err == kErrSuccess && r.payload == 0xfeed) ? 0 : 1;
 }

@@ -20,23 +20,22 @@ int main(int argc, char** argv) {
   const std::vector<uint8_t> message(text.begin(), text.end());
 
   os::World world{64};
-  os::Os::BuildOptions opts;
-  opts.with_shared_page = true;
-  os::EnclaveHandle e;
-  if (world.os.BuildEnclave(enclave::Sha256Program(), &opts, &e) != kErrSuccess) {
+  auto built = world.os.NewEnclave().Code(enclave::Sha256Program()).SharedPage().Build();
+  if (!built.ok()) {
     return 1;
   }
+  const os::EnclaveHandle e = *std::move(built);
   std::printf("enclave code: %zu A32 instructions/words in one measured page\n",
               enclave::Sha256Program().size());
 
-  const word nblocks = enclave::StageSha256Message(world.os, opts.shared_insecure_pgnr, message);
+  const word nblocks = enclave::StageSha256Message(world.os, e.shared_insecure_pgnr, message);
   const uint64_t insns_before = world.machine.cycles.total();
-  const os::SmcRet r = world.os.Enter(e.thread, nblocks);
-  if (r.err != kErrSuccess) {
+  const os::EnterResult r = world.os.Enter(e.thread, nblocks);
+  if (!r.exited()) {
     std::printf("enclave faulted: %s\n", KomErrName(r.err));
     return 1;
   }
-  const auto digest = enclave::ReadSha256Digest(world.os, opts.shared_insecure_pgnr);
+  const auto digest = enclave::ReadSha256Digest(world.os, e.shared_insecure_pgnr);
 
   crypto::Digest enclave_digest;
   std::copy(digest.begin(), digest.end(), enclave_digest.begin());

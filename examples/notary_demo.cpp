@@ -90,7 +90,7 @@ int main() {
   }
 
   std::printf("initialising notary (RSA-1024 keygen inside the enclave)...\n");
-  if (host.world.os.Enter(host.thread, enclave::kNotaryCmdInit).err != kErrSuccess) {
+  if (!host.world.os.Enter(host.thread, enclave::kNotaryCmdInit).exited()) {
     return 1;
   }
   const crypto::RsaPublicKey& pub = host.notary->core().public_key();
@@ -105,14 +105,14 @@ int main() {
     const std::vector<uint8_t> doc(text.begin(), text.end());
     host.Stage(doc);
     const uint64_t before = host.world.machine.cycles.total();
-    const os::SmcRet r =
+    const os::EnterResult r =
         host.world.os.Enter(host.thread, enclave::kNotaryCmdNotarize, doc.size());
     const uint64_t cycles = host.world.machine.cycles.total() - before;
-    if (r.err != kErrSuccess || r.val == 0) {
+    if (!r.exited() || r.payload == 0) {
       std::printf("notarisation failed\n");
       return 1;
     }
-    const uint32_t stamp = r.val - 1;  // counter value bound into the signature
+    const uint32_t stamp = r.payload - 1;  // counter value bound into the signature
     const std::vector<uint8_t> sig = host.Signature();
 
     // Relying party: verify document || stamp against the public key.

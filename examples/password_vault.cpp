@@ -44,27 +44,28 @@ const char* ResultName(word r) {
 
 int main() {
   os::World world{64};
-  os::Os::BuildOptions opts;
-  opts.with_shared_page = true;
   // Secret and payload are in the measured initial contents here for
   // simplicity; a deployment would provision them post-attestation.
-  opts.data_init = {0xdead0001, 0xdead0002, 0xdead0003, 0xdead0004,  // secret
-                    0,                                               // attempts
-                    0xfeed0001, 0xfeed0002, 0xfeed0003, 0xfeed0004};  // payload
-  os::EnclaveHandle vault;
-  if (world.os.BuildEnclave(VaultProgram(), &opts, &vault) != kErrSuccess) {
+  const std::vector<word> vault_data = {
+      0xdead0001, 0xdead0002, 0xdead0003, 0xdead0004,  // secret
+      0,                                               // attempts
+      0xfeed0001, 0xfeed0002, 0xfeed0003, 0xfeed0004};  // payload
+  auto built_vault =
+      world.os.NewEnclave().Code(VaultProgram()).Data(vault_data).SharedPage().Build();
+  if (!built_vault.ok()) {
     return 1;
   }
-  const word shared = opts.shared_insecure_pgnr;
+  const os::EnclaveHandle vault = *std::move(built_vault);
+  const word shared = vault.shared_insecure_pgnr;
 
   auto attempt = [&](word g0, word g1, word g2, word g3) {
     world.os.WriteInsecure(shared, 0, g0);
     world.os.WriteInsecure(shared, 1, g1);
     world.os.WriteInsecure(shared, 2, g2);
     world.os.WriteInsecure(shared, 3, g3);
-    const os::SmcRet r = world.os.Enter(vault.thread);
-    std::printf("guess %08x...: %s\n", g0, ResultName(r.val));
-    return r.val;
+    const os::EnterResult r = world.os.Enter(vault.thread);
+    std::printf("guess %08x...: %s\n", g0, ResultName(r.payload));
+    return r.payload;
   };
 
   // The OS guesses wrong twice, then right: payload released.
@@ -83,21 +84,21 @@ int main() {
 
   // A second vault gets brute-forced: three wrong guesses lock it for good —
   // even the correct password is refused afterwards.
-  os::Os::BuildOptions opts2 = opts;
-  opts2.with_shared_page = true;
-  os::EnclaveHandle vault2;
-  if (world.os.BuildEnclave(VaultProgram(), &opts2, &vault2) != kErrSuccess) {
+  auto built_vault2 =
+      world.os.NewEnclave().Code(VaultProgram()).Data(vault_data).SharedPage().Build();
+  if (!built_vault2.ok()) {
     return 1;
   }
-  const word shared2 = opts2.shared_insecure_pgnr;
+  const os::EnclaveHandle vault2 = *std::move(built_vault2);
+  const word shared2 = vault2.shared_insecure_pgnr;
   auto attempt2 = [&](word g0) {
     world.os.WriteInsecure(shared2, 0, g0);
     world.os.WriteInsecure(shared2, 1, 0);
     world.os.WriteInsecure(shared2, 2, 0);
     world.os.WriteInsecure(shared2, 3, 0);
-    const os::SmcRet r = world.os.Enter(vault2.thread);
-    std::printf("brute force %08x: %s\n", g0, ResultName(r.val));
-    return r.val;
+    const os::EnterResult r = world.os.Enter(vault2.thread);
+    std::printf("brute force %08x: %s\n", g0, ResultName(r.payload));
+    return r.payload;
   };
   attempt2(0x111);
   attempt2(0x222);

@@ -19,14 +19,13 @@ int main() {
   // 2. The enclave: r1 = arg1 + arg2, then the Exit supervisor call — three
   //    instructions, assembled in enclave::QuickstartProgram().
   // 3. Construct it through the monitor: address space, page tables, measured
-  //    code/data pages, a thread, finalise. BuildEnclave wraps the SMC calls.
-  os::Os::BuildOptions opts;
-  os::EnclaveHandle enclave;
-  const word err = world.os.BuildEnclave(enclave::QuickstartProgram(), &opts, &enclave);
-  if (err != kErrSuccess) {
-    std::printf("enclave construction failed: %s\n", KomErrName(err));
+  //    code/data pages, a thread, finalise. the EnclaveBuilder wraps the SMC calls.
+  auto built = world.os.NewEnclave().Code(enclave::QuickstartProgram()).Build();
+  if (!built.ok()) {
+    std::printf("enclave construction failed: %s\n", KomErrName(built.error()));
     return 1;
   }
+  const os::EnclaveHandle enclave = *std::move(built);
   const auto db = spec::ExtractPageDb(world.machine);
   const auto measurement =
       crypto::WordsToDigest(db[enclave.addrspace].As<spec::AddrspacePage>().measurement);
@@ -34,8 +33,8 @@ int main() {
 
   // 4. Enter it. The monitor switches worlds, loads the enclave page table,
   //    and drops to secure user mode; the enclave adds and exits.
-  const os::SmcRet r = world.os.Enter(enclave.thread, 20, 22);
-  std::printf("Enter(20, 22) -> err=%s retval=%u\n", KomErrName(r.err), r.val);
+  const os::EnterResult r = world.os.Enter(enclave.thread, 20, 22);
+  std::printf("Enter(20, 22) -> err=%s retval=%u\n", KomErrName(r.err), r.payload);
 
   // 5. Tear down: stop, then deallocate every page.
   world.os.Stop(enclave.addrspace);
@@ -50,5 +49,5 @@ int main() {
   world.os.Remove(enclave.addrspace);
   std::printf("enclave destroyed; %llu simulated cycles total\n",
               static_cast<unsigned long long>(world.machine.cycles.total()));
-  return r.val == 42 ? 0 : 1;
+  return r.payload == 42 ? 0 : 1;
 }

@@ -26,23 +26,21 @@ int main() {
   enclave::NativeRuntime runtime(world.monitor);
 
   // --- Attestor: an ordinary enclave with something to prove -------------------
-  os::Os::BuildOptions aopts;
-  aopts.with_shared_page = true;
-  os::EnclaveHandle attestor;
-  if (world.os.BuildEnclave(enclave::AttestProgram(), &aopts, &attestor) != kErrSuccess) {
+  auto built_attestor = world.os.NewEnclave().Code(enclave::AttestProgram()).SharedPage().Build();
+  if (!built_attestor.ok()) {
     return 1;
   }
+  const os::EnclaveHandle attestor = *std::move(built_attestor);
 
   // --- Signing enclave: generates its key at init ------------------------------
-  os::Os::BuildOptions sopts;
-  sopts.with_shared_page = true;
-  os::EnclaveHandle signer;
-  if (world.os.BuildEnclave({0xe3a00001, 0xef000000}, &sopts, &signer) != kErrSuccess) {
+  auto built_signer = world.os.NewEnclave().Code({0xe3a00001, 0xef000000}).SharedPage().Build();
+  if (!built_signer.ok()) {
     return 1;
   }
+  const os::EnclaveHandle signer = *std::move(built_signer);
   auto signing = std::make_shared<SigningEnclave>(/*key_seed=*/20170101);
   runtime.Register(signer.l1pt, signing);
-  if (world.os.Enter(signer.thread, enclave::kSignerCmdInit).val != 1) {
+  if (world.os.Enter(signer.thread, enclave::kSignerCmdInit).payload != 1) {
     return 1;
   }
   // "Provisioning": the device manufacturer endorses the signing key. The
@@ -53,7 +51,7 @@ int main() {
 
   // --- 1. The attestor produces a local attestation ----------------------------
   const word kDataSeed = 0x7700;
-  if (world.os.Enter(attestor.thread, kDataSeed).err != kErrSuccess) {
+  if (!world.os.Enter(attestor.thread, kDataSeed).exited()) {
     return 1;
   }
   const auto db = spec::ExtractPageDb(world.machine);
@@ -62,12 +60,12 @@ int main() {
 
   // --- 2. The untrusted OS ferries it to the signing enclave -------------------
   for (word i = 0; i < 8; ++i) {
-    world.os.WriteInsecure(sopts.shared_insecure_pgnr, i, kDataSeed + i);
-    world.os.WriteInsecure(sopts.shared_insecure_pgnr, 8 + i, measurement[i]);
-    world.os.WriteInsecure(sopts.shared_insecure_pgnr, 16 + i,
-                           world.os.ReadInsecure(aopts.shared_insecure_pgnr, i));
+    world.os.WriteInsecure(signer.shared_insecure_pgnr, i, kDataSeed + i);
+    world.os.WriteInsecure(signer.shared_insecure_pgnr, 8 + i, measurement[i]);
+    world.os.WriteInsecure(signer.shared_insecure_pgnr, 16 + i,
+                           world.os.ReadInsecure(attestor.shared_insecure_pgnr, i));
   }
-  if (world.os.Enter(signer.thread, enclave::kSignerCmdSign).val != 1) {
+  if (world.os.Enter(signer.thread, enclave::kSignerCmdSign).payload != 1) {
     std::printf("signing enclave refused — forged attestation?\n");
     return 1;
   }
@@ -77,7 +75,7 @@ int main() {
   std::vector<uint8_t> signature(128);
   for (size_t i = 0; i < signature.size(); ++i) {
     const word v = world.os.ReadInsecure(
-        sopts.shared_insecure_pgnr, (enclave::kSignerSigOffset + static_cast<word>(i)) / 4);
+        signer.shared_insecure_pgnr, (enclave::kSignerSigOffset + static_cast<word>(i)) / 4);
     signature[i] = static_cast<uint8_t>(v >> ((i % 4) * 8));
   }
   std::array<word, 8> data;
@@ -96,8 +94,8 @@ int main() {
   }
 
   // --- 4. And a forgery does not get signed -------------------------------------
-  world.os.WriteInsecure(sopts.shared_insecure_pgnr, 16, 0xdeadbeef);  // corrupt the MAC
-  const bool refused = world.os.Enter(signer.thread, enclave::kSignerCmdSign).val == 0;
+  world.os.WriteInsecure(signer.shared_insecure_pgnr, 16, 0xdeadbeef);  // corrupt the MAC
+  const bool refused = world.os.Enter(signer.thread, enclave::kSignerCmdSign).payload == 0;
   std::printf("forged MAC: signing enclave %s\n", refused ? "refused to sign" : "SIGNED (BUG)");
   return refused ? 0 : 1;
 }

@@ -27,19 +27,19 @@ for arg in "$@"; do
   esac
 done
 
-echo "=== [1/10] tier-1: configure + build ==="
+echo "=== [1/11] tier-1: configure + build ==="
 cmake -B build -S . $(generator_for build) -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "=== [2/10] tier-1: ctest ==="
+echo "=== [2/11] tier-1: ctest ==="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [3/10] tier-1: ctest with interpreter caches disabled ==="
+echo "=== [3/11] tier-1: ctest with interpreter caches disabled ==="
 # The fast-path caches (DESIGN.md §8) must be architecturally invisible;
 # the whole suite has to pass with them off as well.
 KOMODO_INTERP_CACHE=off ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [3b/10] tier-1: ctest with the block JIT disabled ==="
+echo "=== [3b/11] tier-1: ctest with the block JIT disabled ==="
 # The A32→x64 translator (DESIGN.md §13) defaults on where supported, so the
 # plain run above already exercises it; this leg pins the interpreter-only
 # escape hatch, and the combination below the fully stripped configuration.
@@ -47,27 +47,50 @@ KOMODO_JIT=off ctest --test-dir build --output-on-failure -j "$JOBS"
 KOMODO_JIT=off KOMODO_INTERP_CACHE=off \
   ctest --test-dir build --output-on-failure -j "$JOBS" -R 'cycle_regression_test|interp_diff_test|jit_test'
 
-echo "=== [4/10] tier-1: ctest with tracing enabled ==="
+echo "=== [4/11] tier-1: ctest with tracing enabled ==="
 # The tracer (DESIGN.md §9) must be architecturally invisible too: the whole
 # suite — including the cycle-regression test — has to pass with every
 # monitor tracing into a live ring buffer.
 KOMODO_TRACE=on ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [5/10] bench smoke (cached/uncached invisibility check) ==="
+echo "=== [5/11] bench smoke (cached/uncached invisibility check) ==="
 ctest --test-dir build -L bench-smoke --output-on-failure
 
-echo "=== [6/10] bench/trace JSON artifacts validate ==="
+echo "=== [6/11] bench/trace JSON artifacts validate ==="
 # The bench-smoke runs above emitted komodo-bench-v1 / komodo-metrics-v1 /
 # chrome-trace artifacts into build/bench; a drifting emitter fails here.
 ./build/tools/komodo-benchjson build/bench/BENCH_*.json \
   build/bench/METRICS_fig5_notary.json
 ./build/tools/komodo-benchjson --schema chrome build/bench/TRACE_fig5_notary.json
 
-echo "=== [7/10] komodo-lint: shipped programs + fixtures ==="
+echo "=== [7/11] komodo-serve: daemon smoke (batching, eviction, line protocol) ==="
+# The scripted demo exercises batched submission, a typed timeout and an
+# eviction/rebuild, and exits nonzero if any expectation fails. The stdin
+# leg drives the line protocol end to end and must produce exactly the
+# expected transcript. Both metrics documents must validate, including the
+# embedded "serve" section.
+./build/tools/komodo-serve --demo --metrics-out build/serve-demo-metrics.json \
+  > build/serve-demo.out
+printf 'create counter\nsubmit 1 5\nsubmit 1 6\nwait 2\ndestroy 1\nquit\n' \
+  | ./build/tools/komodo-serve --stdin --metrics-out build/serve-stdin-metrics.json \
+  > build/serve-stdin.out
+printf 'session 1\nrequest 1\nrequest 2\nresult 2 ok 11\ndestroyed 1 dropped 0\nwrote build/serve-stdin-metrics.json\n' \
+  | cmp - build/serve-stdin.out \
+  || { echo "komodo-serve: stdin transcript drifted" >&2; exit 1; }
+./build/tools/komodo-benchjson build/serve-demo-metrics.json build/serve-stdin-metrics.json
+# Seeded load generator must be deterministic: same seed, same stdout.
+./build/tools/komodo-serve --load --sessions 40 --requests 400 --budget 28 \
+  > build/serve-load-1.out
+./build/tools/komodo-serve --load --sessions 40 --requests 400 --budget 28 \
+  > build/serve-load-2.out
+cmp build/serve-load-1.out build/serve-load-2.out \
+  || { echo "komodo-serve: nondeterministic load run" >&2; exit 1; }
+
+echo "=== [8/11] komodo-lint: shipped programs + fixtures ==="
 ./build/tools/komodo-lint --check-shipped
 ./build/tools/komodo-lint --check-fixtures
 
-echo "=== [8/10] komodo-verify: exhaustive small-world closure ==="
+echo "=== [9/11] komodo-verify: exhaustive small-world closure ==="
 # The model checker (DESIGN.md §12) must close the default small world with
 # all three obligations holding, byte-identically across runs, and at the
 # pinned closure hash — any drift in the PageDb serialization, the symmetry
@@ -85,7 +108,7 @@ grep -q "^closure-hash ${VERIFY_CLOSURE_HASH}\$" build/verify-small-1.out \
   || { echo "komodo-verify: closure hash drifted from the pinned value" >&2; exit 1; }
 ./build/tools/komodo-benchjson build/bench/BENCH_verify.json
 
-echo "=== [9/10] komodo-fuzz smoke (fixed seed, all oracles, determinism) ==="
+echo "=== [10/11] komodo-fuzz smoke (fixed seed, all oracles, determinism) ==="
 # A short fixed-seed campaign per oracle (DESIGN.md §10). Run twice; stdout —
 # including the campaign-hash over every generated trace and verdict — must be
 # byte-identical, or the fuzzer has lost replayability. The interp oracle is
@@ -98,7 +121,7 @@ cmp build/fuzz-smoke-1.out build/fuzz-smoke-2.out \
   || { echo "komodo-fuzz: nondeterministic campaign output" >&2; exit 1; }
 grep "^campaign-hash " build/fuzz-smoke-1.out
 
-echo "=== [10/10] komodo-fuzz parallel determinism (--jobs 1 vs --jobs 8) ==="
+echo "=== [11/11] komodo-fuzz parallel determinism (--jobs 1 vs --jobs 8) ==="
 # The sharded campaign hash (DESIGN.md §11) is defined to be independent of
 # the worker count; serial and 8-way stdout must be byte-identical.
 ./build/tools/komodo-fuzz "${FUZZ_ARGS[@]}" --jobs 8 2>/dev/null \
@@ -144,9 +167,9 @@ fi
 
 # clang-tidy is optional: the reference container only ships gcc.
 if command -v clang-tidy >/dev/null 2>&1 && [[ -f build/compile_commands.json ]]; then
-  echo "=== extra: clang-tidy (src/core src/spec src/analysis src/verify src/jit) ==="
+  echo "=== extra: clang-tidy (src/core src/spec src/analysis src/verify src/jit src/serve) ==="
   clang-tidy -p build --quiet \
-    src/core/*.cc src/spec/*.cc src/analysis/*.cc src/verify/*.cc src/jit/*.cc
+    src/core/*.cc src/spec/*.cc src/analysis/*.cc src/verify/*.cc src/jit/*.cc src/serve/*.cc
 else
   echo "=== extra: clang-tidy not found; skipping (config: .clang-tidy) ==="
 fi

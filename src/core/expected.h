@@ -1,0 +1,60 @@
+// A minimal value-or-error sum type for fallible constructors and builders
+// (std::expected is C++23; this tree builds as C++20). Used by the OS model's
+// EnclaveBuilder and the serve layer's session API, which both return either
+// a fully constructed value or a typed error — never a half-filled
+// out-parameter.
+#ifndef SRC_CORE_EXPECTED_H_
+#define SRC_CORE_EXPECTED_H_
+
+#include <cassert>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+namespace komodo {
+
+template <typename T, typename E>
+class [[nodiscard]] Expected {
+  static_assert(!std::is_same_v<T, E>, "value and error types must differ");
+  static_assert(std::is_default_constructible_v<E>);
+
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(*-explicit-*)
+  Expected(E error) : error_(error) {}             // NOLINT(*-explicit-*)
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Only meaningful when !ok().
+  E error() const {
+    assert(!ok());
+    return error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  E error_{};
+};
+
+}  // namespace komodo
+
+#endif  // SRC_CORE_EXPECTED_H_

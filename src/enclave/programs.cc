@@ -71,6 +71,52 @@ std::vector<word> SpinProgram() {
   return a.Finish();
 }
 
+std::vector<word> CounterBatchProgram() {
+  Assembler a = NewAsm();
+  Assembler::Label loop = a.NewLabel();
+  Assembler::Label done = a.NewLabel();
+  a.MovImm(R4, os::kEnclaveSharedVa);
+  a.Ldr(R5, R4, 0);  // n
+  a.MovImm(R9, os::kEnclaveDataVa);
+  a.Ldr(R6, R9, 0);  // counter
+  a.MovImm(R7, 0);   // i
+  a.Bind(loop);
+  a.Cmp(R7, R5);
+  a.B(done, Cond::kCs);  // unsigned i >= n
+  a.AddShifted(R8, R4, R7, ShiftKind::kLsl, 2);  // &shared[i]
+  a.Ldr(R10, R8, 4);      // shared[1+i]
+  a.Add(R6, R6, R10);     // counter += arg
+  a.Str(R6, R8, 33 * 4);  // shared[33+i] = counter
+  a.Add(R7, R7, 1u);
+  a.B(loop);
+  a.Bind(done);
+  a.Str(R6, R9, 0);  // persist the counter in the private data page
+  EmitExit(a, R5);
+  return a.Finish();
+}
+
+std::vector<word> EchoBatchProgram() {
+  Assembler a = NewAsm();
+  Assembler::Label loop = a.NewLabel();
+  Assembler::Label done = a.NewLabel();
+  a.MovImm(R4, os::kEnclaveSharedVa);
+  a.Ldr(R5, R4, 0);  // n
+  a.MovImm(R7, 0);   // i
+  a.Bind(loop);
+  a.Cmp(R7, R5);
+  a.B(done, Cond::kCs);
+  a.AddShifted(R8, R4, R7, ShiftKind::kLsl, 2);
+  a.Ldr(R10, R8, 4);   // x = shared[1+i]
+  a.Add(R6, R10, R10);  // 2x
+  a.Add(R6, R6, 1u);    // 2x + 1
+  a.Str(R6, R8, 33 * 4);
+  a.Add(R7, R7, 1u);
+  a.B(loop);
+  a.Bind(done);
+  EmitExit(a, R5);
+  return a.Finish();
+}
+
 std::vector<word> AttestProgram() {
   Assembler a = NewAsm();
   // data page: words 0..7 = user data (arg1 + i), words 8..15 = MAC output.

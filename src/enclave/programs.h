@@ -26,6 +26,22 @@ std::vector<word> CounterProgram();
 // stores arg1 to data[0] so a resumed run can prove context was preserved.
 std::vector<word> SpinProgram();
 
+// Batch-ABI variants for the serve layer (DESIGN.md §14): one Enter services
+// up to kServeBatchMax requests staged in the shared page —
+//   shared[0]      = n (request count)
+//   shared[1..n]   = per-request arguments
+//   shared[33+i]   = per-request results (written by the enclave)
+// and the program exits with n. Amortizing the world-switch cost over a
+// batch is the §8.1 optimization the serve scheduler measures.
+
+// counter += arg for each request; results are the running counter values.
+// The counter lives in the private data page, so it persists across entries
+// but resets when the serve layer evicts and rebuilds the enclave.
+std::vector<word> CounterBatchProgram();
+
+// result = 2*arg + 1 for each request (stateless echo).
+std::vector<word> EchoBatchProgram();
+
 // Writes 8 words of "user data" (derived from arg1) into its data page,
 // issues the Attest SVC, copies the resulting MAC to the shared page
 // (words 0..7), then Exit(0). The OS-side test passes the MAC to a second

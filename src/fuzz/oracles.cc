@@ -27,6 +27,10 @@ std::string OpLabel(const Trace& t, size_t i) {
 }
 
 // Replays one poke. Page numbers are clamped into insecure RAM so shrinker
+// The oracles compare and hash the raw ABI words of Enter/Resume, so the
+// typed EnterResult is flattened back to the r0/r1 pair at these sites.
+os::SmcRet AbiWords(const os::EnterResult& r) { return {ToWord(r.err), r.payload}; }
+
 // arg-simplification cannot wander out of bounds (WriteInsecure is raw).
 void ApplyPoke(os::World& w, const TraceOp& op) {
   const word npages = arm::kInsecureSize / arm::kPageSize;
@@ -43,12 +47,13 @@ bool BuildVictim(os::World& w, const std::string& name, os::EnclaveHandle* out,
     return false;
   }
   if (!VictimWantsWritableCode(name)) {
-    os::Os::BuildOptions opts;
-    if (const word err = w.os.BuildEnclave(program, &opts, out); err != kErrSuccess) {
-      *why = "victim build failed: " + std::string(KomErrName(err));
+    if (auto built = w.os.NewEnclave().Code(program).Build(); built.ok()) {
+      *out = *std::move(built);
+      return true;
+    } else {
+      *why = "victim build failed: " + std::string(KomErrName(built.error()));
       return false;
     }
-    return true;
   }
   os::Os& os = w.os;
   os::EnclaveHandle e;
@@ -126,11 +131,12 @@ Verdict RunSpecBacked(const Trace& t, bool with_spec, WorldPool& pool) {
   }
   os::EnclaveHandle driver;
   if (needs_driver) {
-    os::Os::BuildOptions opts;
-    if (const word err = w.os.BuildEnclave(DriverProgram(), &opts, &driver);
-        err != kErrSuccess) {
-      return Fail(-1, "harness: driver build failed: " + std::string(KomErrName(err)));
+    auto built = w.os.NewEnclave().Code(DriverProgram()).Build();
+    if (!built.ok()) {
+      return Fail(-1,
+                  "harness: driver build failed: " + std::string(KomErrName(built.error())));
     }
+    driver = *std::move(built);
   }
 
   spec::PageDb d = spec::ExtractPageDb(w.machine);
@@ -220,7 +226,7 @@ Verdict RunSpecBacked(const Trace& t, bool with_spec, WorldPool& pool) {
         // runs is the SVC itself comparable against the spec.
         const spec::Result guard = spec::ApplySmc(d, w.machine, kSmcEnter,
                                                   {driver.thread, 0, 0, 0});
-        const os::SmcRet got = w.os.Enter(driver.thread);
+        const os::SmcRet got = AbiWords(w.os.Enter(driver.thread));
         if (guard.err != kErrSuccess) {
           if (got.err != guard.err) {
             return Fail(static_cast<int>(i),
@@ -321,12 +327,12 @@ Verdict RunNoninterference(const Trace& t, WorldPool& pool) {
       case OpKind::kSvc:
         break;  // not generated for paired traces
       case OpKind::kEnter:
-        r1 = w1.os.Enter(v1.thread, op.a[1], op.a[2], op.a[3]);
-        r2 = w2.os.Enter(v2.thread, op.a[1], op.a[2], op.a[3]);
+        r1 = AbiWords(w1.os.Enter(v1.thread, op.a[1], op.a[2], op.a[3]));
+        r2 = AbiWords(w2.os.Enter(v2.thread, op.a[1], op.a[2], op.a[3]));
         break;
       case OpKind::kResume:
-        r1 = w1.os.Resume(v1.thread);
-        r2 = w2.os.Resume(v2.thread);
+        r1 = AbiWords(w1.os.Resume(v1.thread));
+        r2 = AbiWords(w2.os.Resume(v2.thread));
         break;
     }
     if (r1.err != r2.err || r1.val != r2.val) {
@@ -404,17 +410,17 @@ Verdict RunInterp(const Trace& t, WorldPool& pool) {
         if (t.victim.empty()) {
           break;
         }
-        rc = wc.os.Enter(vc.thread, op.a[1], op.a[2], op.a[3]);
-        ru = wu.os.Enter(vu.thread, op.a[1], op.a[2], op.a[3]);
-        rj = wj.os.Enter(vj.thread, op.a[1], op.a[2], op.a[3]);
+        rc = AbiWords(wc.os.Enter(vc.thread, op.a[1], op.a[2], op.a[3]));
+        ru = AbiWords(wu.os.Enter(vu.thread, op.a[1], op.a[2], op.a[3]));
+        rj = AbiWords(wj.os.Enter(vj.thread, op.a[1], op.a[2], op.a[3]));
         break;
       case OpKind::kResume:
         if (t.victim.empty()) {
           break;
         }
-        rc = wc.os.Resume(vc.thread);
-        ru = wu.os.Resume(vu.thread);
-        rj = wj.os.Resume(vj.thread);
+        rc = AbiWords(wc.os.Resume(vc.thread));
+        ru = AbiWords(wu.os.Resume(vu.thread));
+        rj = AbiWords(wj.os.Resume(vj.thread));
         break;
     }
     if (rc.err != ru.err || rc.val != ru.val) {

@@ -265,7 +265,9 @@ void WriteCallArgs(JsonWriter& w, const TraceEvent& begin, const TraceEvent& end
   w.EndObject();
 }
 
-void WriteHistogram(JsonWriter& w, const Histogram& h) {
+}  // namespace
+
+void WriteHistogramJson(JsonWriter& w, const Histogram& h) {
   w.BeginObject();
   w.KV("count", h.count());
   w.KV("sum", h.sum());
@@ -290,7 +292,7 @@ void WriteHistogram(JsonWriter& w, const Histogram& h) {
   w.EndObject();
 }
 
-void WriteCallStats(JsonWriter& w, const std::map<uint32_t, CallStats>& stats) {
+void WriteCallStatsJson(JsonWriter& w, const std::map<uint32_t, CallStats>& stats) {
   w.BeginArray();
   for (const auto& [call, s] : stats) {
     w.BeginObject();
@@ -299,7 +301,7 @@ void WriteCallStats(JsonWriter& w, const std::map<uint32_t, CallStats>& stats) {
     w.KV("calls", s.calls);
     w.KV("errors", s.errors);
     w.Key("cycles");
-    WriteHistogram(w, s.cycle_hist);
+    WriteHistogramJson(w, s.cycle_hist);
     w.KV("steps", s.steps);
     w.KV("wall_ns", s.wall_ns);
     w.Key("interp_cache");
@@ -323,7 +325,7 @@ void WriteCallStats(JsonWriter& w, const std::map<uint32_t, CallStats>& stats) {
   w.EndArray();
 }
 
-}  // namespace
+
 
 std::string Observability::ExportChromeTrace() const {
   const std::vector<TraceEvent> events = Events();
@@ -414,27 +416,31 @@ std::string Observability::ExportChromeTrace() const {
   return out;
 }
 
+void WriteCountersJson(JsonWriter& w, const Counters& c) {
+  w.BeginObject();
+  w.KV("events_recorded", c.events_recorded);
+  w.KV("events_dropped", c.events_dropped);
+  w.KV("smc_calls", c.smc_calls);
+  w.KV("svc_calls", c.svc_calls);
+  w.KV("enclave_entries", c.enclave_entries);
+  w.KV("enclave_resumes", c.enclave_resumes);
+  w.KV("enclave_exits", c.enclave_exits);
+  w.KV("exceptions", c.exceptions);
+  w.KV("tlb_flushes", c.tlb_flushes);
+  w.EndObject();
+}
+
 std::string Observability::ExportMetrics() const {
   std::string out;
   JsonWriter w(&out);
   w.BeginObject();
   w.KV("schema", "komodo-metrics-v1");
   w.Key("counters");
-  w.BeginObject();
-  w.KV("events_recorded", counters_.events_recorded);
-  w.KV("events_dropped", counters_.events_dropped);
-  w.KV("smc_calls", counters_.smc_calls);
-  w.KV("svc_calls", counters_.svc_calls);
-  w.KV("enclave_entries", counters_.enclave_entries);
-  w.KV("enclave_resumes", counters_.enclave_resumes);
-  w.KV("enclave_exits", counters_.enclave_exits);
-  w.KV("exceptions", counters_.exceptions);
-  w.KV("tlb_flushes", counters_.tlb_flushes);
-  w.EndObject();
+  WriteCountersJson(w, counters_);
   w.Key("smc");
-  WriteCallStats(w, smc_stats_);
+  WriteCallStatsJson(w, smc_stats_);
   w.Key("svc");
-  WriteCallStats(w, svc_stats_);
+  WriteCallStatsJson(w, svc_stats_);
   w.EndObject();
   return out;
 }

@@ -39,6 +39,8 @@
 
 namespace komodo::obs {
 
+class JsonWriter;
+
 enum class EventKind : uint8_t {
   kSmcBegin,        // code = SMC number; args = r1..r4
   kSmcEnd,          // err/val = returned r0/r1
@@ -141,6 +143,14 @@ struct Counters {
   uint64_t exceptions = 0;
   uint64_t tlb_flushes = 0;
 };
+
+// komodo-metrics-v1 building-block serializers. Exposed so layers above the
+// monitor (the serve daemon's request-latency histograms and queue counters)
+// can embed their own sections in the same document format the validator
+// understands, instead of inventing a parallel schema.
+void WriteHistogramJson(JsonWriter& w, const Histogram& h);
+void WriteCallStatsJson(JsonWriter& w, const std::map<uint32_t, CallStats>& stats);
+void WriteCountersJson(JsonWriter& w, const Counters& c);
 
 class Observability {
  public:

@@ -1,10 +1,46 @@
 #include "src/os/os.h"
 
 #include <cassert>
+#include <utility>
 
 namespace komodo::os {
 
 using arm::Mode;
+
+const char* EnclaveExitName(EnclaveExit reason) {
+  switch (reason) {
+    case EnclaveExit::kExited:
+      return "exited";
+    case EnclaveExit::kInterrupted:
+      return "interrupted";
+    case EnclaveExit::kFaulted:
+      return "faulted";
+    case EnclaveExit::kDenied:
+      return "denied";
+  }
+  return "unknown";
+}
+
+EnterResult EnterResult::FromSmc(SmcRet r) {
+  EnterResult res;
+  res.err = ErrFromWord(r.err);
+  res.payload = r.val;
+  switch (r.err) {
+    case kErrSuccess:
+      res.reason = EnclaveExit::kExited;
+      break;
+    case kErrInterrupted:
+      res.reason = EnclaveExit::kInterrupted;
+      break;
+    case kErrFault:
+      res.reason = EnclaveExit::kFaulted;
+      break;
+    default:
+      res.reason = EnclaveExit::kDenied;
+      break;
+  }
+  return res;
+}
 
 Os::Os(arm::MachineState& m, Monitor& monitor)
     : machine_(m), monitor_(monitor) {
@@ -13,6 +49,7 @@ Os::Os(arm::MachineState& m, Monitor& monitor)
 
 void Os::ResetForReuse() {
   next_insecure_page_ = 16;
+  free_insecure_.clear();
   // Free-list is kept so pages are handed out in ascending order (the
   // monitor doesn't care; tests like stable numbering).
   const word npages = machine_.mem.nsecure_pages();
@@ -60,10 +97,12 @@ SmcRet Os::MapInsecure(PageNr as_page, word mapping, word insecure_pgnr) {
 }
 SmcRet Os::Remove(PageNr page) { return Smc(kSmcRemove, page); }
 SmcRet Os::Finalise(PageNr as_page) { return Smc(kSmcFinalise, as_page); }
-SmcRet Os::Enter(PageNr thread_page, word arg1, word arg2, word arg3) {
-  return Smc(kSmcEnter, thread_page, arg1, arg2, arg3);
+EnterResult Os::Enter(PageNr thread_page, word arg1, word arg2, word arg3) {
+  return EnterResult::FromSmc(Smc(kSmcEnter, thread_page, arg1, arg2, arg3));
 }
-SmcRet Os::Resume(PageNr thread_page) { return Smc(kSmcResume, thread_page); }
+EnterResult Os::Resume(PageNr thread_page) {
+  return EnterResult::FromSmc(Smc(kSmcResume, thread_page));
+}
 SmcRet Os::Stop(PageNr as_page) { return Smc(kSmcStop, as_page); }
 
 PageNr Os::AllocSecurePage() {
@@ -79,6 +118,11 @@ PageNr Os::AllocSecurePage() {
 }
 
 word Os::AllocInsecurePage() {
+  if (!free_insecure_.empty()) {
+    const word pgnr = free_insecure_.back();
+    free_insecure_.pop_back();
+    return pgnr;
+  }
   const word pgnr = next_insecure_page_++;
   assert(pgnr * arm::kPageSize < arm::kInsecureSize);
   return pgnr;
@@ -99,75 +143,174 @@ void Os::WriteInsecurePage(word pgnr, const std::vector<word>& words) {
   }
 }
 
-word Os::BuildEnclave(const std::vector<word>& code, BuildOptions* options, EnclaveHandle* out) {
-  assert(code.size() <= arm::kWordsPerPage);
+KomErr Os::DestroyEnclave(const EnclaveHandle& enclave) {
+  KomErr first_err = KomErr::kSuccess;
+  const auto note = [&first_err](SmcRet r) {
+    if (r.err != kErrSuccess && first_err == KomErr::kSuccess) {
+      first_err = ErrFromWord(r.err);
+    }
+    return r.err == kErrSuccess;
+  };
+  // A running or suspended enclave cannot be dismantled page by page; Stop
+  // forces the address space into kStopped so Remove accepts everything.
+  if (enclave.addrspace != kInvalidPage) {
+    note(Stop(enclave.addrspace));
+  }
+  const auto remove_and_free = [this, &note](PageNr page) {
+    if (page == kInvalidPage) {
+      return;
+    }
+    if (note(Remove(page))) {
+      FreeSecurePage(page);
+    }
+  };
+  remove_and_free(enclave.thread);
+  for (PageNr page : enclave.data_pages) {
+    remove_and_free(page);
+  }
+  for (PageNr page : enclave.spare_pages) {
+    remove_and_free(page);
+  }
+  for (PageNr page : enclave.l2pts) {
+    remove_and_free(page);
+  }
+  remove_and_free(enclave.l1pt);
+  remove_and_free(enclave.addrspace);
+  return first_err;
+}
+
+EnclaveBuilder& EnclaveBuilder::Code(std::vector<word> code) {
+  code_ = std::move(code);
+  return *this;
+}
+
+EnclaveBuilder& EnclaveBuilder::Data(std::vector<word> data_init) {
+  data_init_ = std::move(data_init);
+  return *this;
+}
+
+EnclaveBuilder& EnclaveBuilder::Entrypoint(word entry_va) {
+  entrypoint_ = entry_va;
+  return *this;
+}
+
+EnclaveBuilder& EnclaveBuilder::SharedPage() {
+  with_shared_page_ = true;
+  shared_page_preallocated_ = false;
+  return *this;
+}
+
+EnclaveBuilder& EnclaveBuilder::SharedPage(word insecure_pgnr) {
+  with_shared_page_ = true;
+  shared_page_preallocated_ = true;
+  shared_insecure_pgnr_ = insecure_pgnr;
+  return *this;
+}
+
+Expected<EnclaveHandle, KomErr> EnclaveBuilder::Build() {
+  assert(code_.size() <= arm::kWordsPerPage);
   EnclaveHandle enclave;
-  enclave.addrspace = AllocSecurePage();
-  enclave.l1pt = AllocSecurePage();
-  if (const SmcRet r = InitAddrspace(enclave.addrspace, enclave.l1pt); r.err != kErrSuccess) {
-    return r.err;
+  // Staging pages are scratch: the monitor copies their contents into secure
+  // pages during MapSecure, so they go straight back to the allocator.
+  std::vector<word> staging;
+  const auto fail = [this, &enclave, &staging](word err) -> Expected<EnclaveHandle, KomErr> {
+    for (word pg : staging) {
+      os_.FreeInsecurePage(pg);
+    }
+    os_.DestroyEnclave(enclave);
+    return ErrFromWord(err);
+  };
+
+  enclave.addrspace = os_.AllocSecurePage();
+  enclave.l1pt = os_.AllocSecurePage();
+  if (const SmcRet r = os_.InitAddrspace(enclave.addrspace, enclave.l1pt);
+      r.err != kErrSuccess) {
+    // InitAddrspace assigns both pages or neither; hand them straight back.
+    os_.FreeSecurePage(enclave.addrspace);
+    os_.FreeSecurePage(enclave.l1pt);
+    enclave.addrspace = kInvalidPage;
+    enclave.l1pt = kInvalidPage;
+    return fail(r.err);
   }
   // One L2 table covers the low 4 MB (code/data/stack); the shared page at
   // 1 MB < 4 MB also fits in it.
-  const PageNr l2 = AllocSecurePage();
-  if (const SmcRet r = InitL2Table(enclave.addrspace, l2, 0); r.err != kErrSuccess) {
-    return r.err;
+  const PageNr l2 = os_.AllocSecurePage();
+  if (const SmcRet r = os_.InitL2Table(enclave.addrspace, l2, 0); r.err != kErrSuccess) {
+    os_.FreeSecurePage(l2);
+    return fail(r.err);
   }
   enclave.l2pts.push_back(l2);
 
   // Stage and map the code page (read+execute).
-  const word code_staging = AllocInsecurePage();
-  WriteInsecurePage(code_staging, code);
-  PageNr page = AllocSecurePage();
-  if (const SmcRet r = MapSecure(enclave.addrspace, page,
-                                 MakeMapping(kEnclaveCodeVa, kMapR | kMapX), code_staging);
+  const word code_staging = os_.AllocInsecurePage();
+  staging.push_back(code_staging);
+  os_.WriteInsecurePage(code_staging, code_);
+  PageNr page = os_.AllocSecurePage();
+  if (const SmcRet r = os_.MapSecure(enclave.addrspace, page,
+                                     MakeMapping(kEnclaveCodeVa, kMapR | kMapX), code_staging);
       r.err != kErrSuccess) {
-    return r.err;
+    os_.FreeSecurePage(page);
+    return fail(r.err);
   }
   enclave.data_pages.push_back(page);
 
   // Data page (read+write), with caller-supplied initial contents.
-  const word data_staging = AllocInsecurePage();
-  WriteInsecurePage(data_staging, options != nullptr ? options->data_init : std::vector<word>{});
-  page = AllocSecurePage();
-  if (const SmcRet r = MapSecure(enclave.addrspace, page,
-                                 MakeMapping(kEnclaveDataVa, kMapR | kMapW), data_staging);
+  const word data_staging = os_.AllocInsecurePage();
+  staging.push_back(data_staging);
+  os_.WriteInsecurePage(data_staging, data_init_);
+  page = os_.AllocSecurePage();
+  if (const SmcRet r = os_.MapSecure(enclave.addrspace, page,
+                                     MakeMapping(kEnclaveDataVa, kMapR | kMapW), data_staging);
       r.err != kErrSuccess) {
-    return r.err;
+    os_.FreeSecurePage(page);
+    return fail(r.err);
   }
   enclave.data_pages.push_back(page);
 
   // Stack page (read+write, zeroed).
-  const word stack_staging = AllocInsecurePage();
-  WriteInsecurePage(stack_staging, {});
-  page = AllocSecurePage();
-  if (const SmcRet r = MapSecure(enclave.addrspace, page,
-                                 MakeMapping(kEnclaveStackVa, kMapR | kMapW), stack_staging);
+  const word stack_staging = os_.AllocInsecurePage();
+  staging.push_back(stack_staging);
+  os_.WriteInsecurePage(stack_staging, {});
+  page = os_.AllocSecurePage();
+  if (const SmcRet r = os_.MapSecure(enclave.addrspace, page,
+                                     MakeMapping(kEnclaveStackVa, kMapR | kMapW), stack_staging);
       r.err != kErrSuccess) {
-    return r.err;
+    os_.FreeSecurePage(page);
+    return fail(r.err);
   }
   enclave.data_pages.push_back(page);
 
-  if (options != nullptr && options->with_shared_page) {
-    options->shared_insecure_pgnr = AllocInsecurePage();
-    if (const SmcRet r = MapInsecure(enclave.addrspace, MakeMapping(kEnclaveSharedVa, kMapR | kMapW),
-                                     options->shared_insecure_pgnr);
-        r.err != kErrSuccess) {
-      return r.err;
+  if (with_shared_page_) {
+    if (!shared_page_preallocated_) {
+      shared_insecure_pgnr_ = os_.AllocInsecurePage();
     }
+    if (const SmcRet r =
+            os_.MapInsecure(enclave.addrspace, MakeMapping(kEnclaveSharedVa, kMapR | kMapW),
+                            shared_insecure_pgnr_);
+        r.err != kErrSuccess) {
+      if (!shared_page_preallocated_) {
+        os_.FreeInsecurePage(shared_insecure_pgnr_);
+      }
+      return fail(r.err);
+    }
+    enclave.has_shared_page = true;
+    enclave.shared_insecure_pgnr = shared_insecure_pgnr_;
   }
 
-  enclave.thread = AllocSecurePage();
-  const word entry = options != nullptr ? options->entrypoint : kEnclaveCodeVa;
-  if (const SmcRet r = InitThread(enclave.addrspace, enclave.thread, entry);
+  enclave.thread = os_.AllocSecurePage();
+  if (const SmcRet r = os_.InitThread(enclave.addrspace, enclave.thread, entrypoint_);
       r.err != kErrSuccess) {
-    return r.err;
+    os_.FreeSecurePage(enclave.thread);
+    enclave.thread = kInvalidPage;
+    return fail(r.err);
   }
-  if (const SmcRet r = Finalise(enclave.addrspace); r.err != kErrSuccess) {
-    return r.err;
+  if (const SmcRet r = os_.Finalise(enclave.addrspace); r.err != kErrSuccess) {
+    return fail(r.err);
   }
-  *out = enclave;
-  return kErrSuccess;
+  for (word pg : staging) {
+    os_.FreeInsecurePage(pg);
+  }
+  return enclave;
 }
 
 }  // namespace komodo::os

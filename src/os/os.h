@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/arm/machine.h"
+#include "src/core/expected.h"
 #include "src/core/monitor.h"
 
 namespace komodo::os {
@@ -28,6 +29,15 @@ struct EnclaveHandle {
   PageNr thread = kInvalidPage;
   std::vector<PageNr> data_pages;
   std::vector<PageNr> spare_pages;
+  // Shared insecure page mapped RW at kEnclaveSharedVa (builder option).
+  bool has_shared_page = false;
+  word shared_insecure_pgnr = 0;
+
+  // Resident secure-page footprint (what a serve-layer page budget charges).
+  word SecurePageCount() const {
+    return 2 + static_cast<word>(l2pts.size()) + 1 + static_cast<word>(data_pages.size()) +
+           static_cast<word>(spare_pages.size());
+  }
 };
 
 // Conventional enclave VA layout used by the examples and tests (all within
@@ -36,6 +46,76 @@ inline constexpr vaddr kEnclaveCodeVa = 0x0000'8000;
 inline constexpr vaddr kEnclaveDataVa = 0x0001'0000;
 inline constexpr vaddr kEnclaveStackVa = 0x0002'0000;  // stack page (sp starts at top)
 inline constexpr vaddr kEnclaveSharedVa = 0x0010'0000;
+
+// How an Enter/Resume round-trip came back to the OS. The monitor's ABI
+// packs this into r0 (error word) + r1 (value word); EnterResult is the
+// OS-side typed view so callers never pattern-match raw words.
+enum class EnclaveExit : word {
+  kExited,       // enclave ran to SvcExit; payload = exit value
+  kInterrupted,  // timer fired mid-run; Resume() continues the thread
+  kFaulted,      // enclave took an abort/undef; payload = declassified code
+  kDenied,       // monitor rejected the call itself (see err)
+};
+
+const char* EnclaveExitName(EnclaveExit reason);
+
+// Typed result of Os::Enter / Os::Resume. Raw ABI words exist only at the
+// monitor's OnSmc epilogue (the PR 3 KomErr convention); everything OS-side
+// consumes this struct.
+struct EnterResult {
+  EnclaveExit reason = EnclaveExit::kDenied;
+  word payload = 0;                // r1: exit value / fault code / aux value
+  KomErr err = KomErr::kSuccess;   // typed r0 (kSuccess iff kExited)
+
+  bool exited() const { return reason == EnclaveExit::kExited; }
+  bool interrupted() const { return reason == EnclaveExit::kInterrupted; }
+  bool faulted() const { return reason == EnclaveExit::kFaulted; }
+  bool denied() const { return reason == EnclaveExit::kDenied; }
+
+  static EnterResult FromSmc(SmcRet r);
+
+  bool operator==(const EnterResult&) const = default;
+};
+
+class Os;
+
+// Value-returning enclave construction: stages code/data through insecure
+// RAM and drives the InitAddrspace → … → Finalise SMC sequence, yielding
+// either a complete EnclaveHandle or the first monitor error. Replaces the
+// out-param construction API that predated it.
+//
+//   auto built = os.NewEnclave().Code(prog).SharedPage().Build();
+//   if (!built.ok()) { ... built.error() ... }
+//   EnclaveHandle e = std::move(built).value();
+//
+// On a monitor error the builder stops the half-built address space, removes
+// every page it managed to assign, and returns the pages to the OS free
+// lists, so a failed build does not strand secure pages (the serve layer's
+// rebuild loop depends on this).
+class EnclaveBuilder {
+ public:
+  explicit EnclaveBuilder(Os& os) : os_(os) {}
+
+  EnclaveBuilder& Code(std::vector<word> code);
+  EnclaveBuilder& Data(std::vector<word> data_init);
+  EnclaveBuilder& Entrypoint(word entry_va);
+  // Map one shared insecure page RW at kEnclaveSharedVa. With no argument a
+  // fresh insecure page is allocated; passing a page number reuses an
+  // existing one (a rebuilt serve session keeps its client-visible buffer).
+  EnclaveBuilder& SharedPage();
+  EnclaveBuilder& SharedPage(word insecure_pgnr);
+
+  Expected<EnclaveHandle, KomErr> Build();
+
+ private:
+  Os& os_;
+  std::vector<word> code_;
+  std::vector<word> data_init_;
+  word entrypoint_ = kEnclaveCodeVa;
+  bool with_shared_page_ = false;
+  bool shared_page_preallocated_ = false;
+  word shared_insecure_pgnr_ = 0;
+};
 
 class Os {
  public:
@@ -61,8 +141,8 @@ class Os {
   SmcRet MapInsecure(PageNr as_page, word mapping, word insecure_pgnr);
   SmcRet Remove(PageNr page);
   SmcRet Finalise(PageNr as_page);
-  SmcRet Enter(PageNr thread_page, word arg1 = 0, word arg2 = 0, word arg3 = 0);
-  SmcRet Resume(PageNr thread_page);
+  EnterResult Enter(PageNr thread_page, word arg1 = 0, word arg2 = 0, word arg3 = 0);
+  EnterResult Resume(PageNr thread_page);
   SmcRet Stop(PageNr as_page);
 
   // --- OS-side resource management ---------------------------------------------
@@ -71,23 +151,24 @@ class Os {
   void FreeSecurePage(PageNr n) { free_secure_.push_back(n); }
   // Allocates an insecure physical page; returns its page number.
   word AllocInsecurePage();
+  // Returns an insecure page to the allocator (serve-layer staging reuse;
+  // contents are left as-is — insecure RAM is the OS's own memory).
+  void FreeInsecurePage(word pgnr) { free_insecure_.push_back(pgnr); }
   // Direct access to insecure RAM (the OS can read/write it freely).
   void WriteInsecure(word pgnr, word word_offset, word value);
   word ReadInsecure(word pgnr, word word_offset) const;
   void WriteInsecurePage(word pgnr, const std::vector<word>& words);
 
-  // --- Enclave construction helper -------------------------------------------------
-  // Builds a single-threaded enclave with `code` mapped RX at kEnclaveCodeVa,
-  // one zeroed RW data page at kEnclaveDataVa, one RW stack page at
-  // kEnclaveStackVa, optionally one shared insecure page at kEnclaveSharedVa,
-  // then finalises. Returns kErrSuccess and the handle, or the first error.
-  struct BuildOptions {
-    bool with_shared_page = false;
-    word shared_insecure_pgnr = 0;  // filled in by the builder when enabled
-    std::vector<word> data_init;    // initial contents of the data page
-    word entrypoint = kEnclaveCodeVa;
-  };
-  word BuildEnclave(const std::vector<word>& code, BuildOptions* options, EnclaveHandle* out);
+  // --- Enclave construction / teardown -----------------------------------------
+  // Starts a fluent enclave build (see EnclaveBuilder above).
+  EnclaveBuilder NewEnclave() { return EnclaveBuilder(*this); }
+
+  // Full teardown of a constructed enclave: stops the address space, removes
+  // every secure page (thread, data, spares, page tables, then the address
+  // space itself) and returns them to the OS free list. The shared insecure
+  // page, if any, is NOT freed — the caller may still be reading it.
+  // Returns the first monitor error, or kSuccess.
+  KomErr DestroyEnclave(const EnclaveHandle& enclave);
 
   arm::MachineState& machine() { return machine_; }
   Monitor& monitor() { return monitor_; }
@@ -96,6 +177,7 @@ class Os {
   arm::MachineState& machine_;
   Monitor& monitor_;
   std::vector<PageNr> free_secure_;
+  std::vector<word> free_insecure_;
   word next_insecure_page_;
 };
 

@@ -1,0 +1,36 @@
+#include "src/serve/catalog.h"
+
+#include <utility>
+
+#include "src/enclave/programs.h"
+
+namespace komodo::serve {
+
+void ProgramCatalog::Register(const std::string& name, CatalogEntry entry) {
+  entries_[name] = std::move(entry);
+}
+
+const CatalogEntry* ProgramCatalog::Find(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ProgramCatalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+ProgramCatalog DefaultCatalog() {
+  ProgramCatalog catalog;
+  catalog.Register("counter", {enclave::CounterBatchProgram(), /*batch_abi=*/true});
+  catalog.Register("echo", {enclave::EchoBatchProgram(), /*batch_abi=*/true});
+  catalog.Register("add_two", {enclave::AddTwoProgram(), /*batch_abi=*/false});
+  catalog.Register("spin", {enclave::SpinProgram(), /*batch_abi=*/false});
+  return catalog;
+}
+
+}  // namespace komodo::serve

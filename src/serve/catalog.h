@@ -1,0 +1,45 @@
+// Program catalog for the serve daemon (DESIGN.md §14): the fixed menu of
+// enclave programs a server instance is willing to construct sessions from.
+// Clients name a program; they never supply code. This mirrors the paper's
+// deployment model — the untrusted OS hosts a known set of measured enclave
+// images, and the measurement (not the client) is what a verifier trusts.
+#ifndef SRC_SERVE_CATALOG_H_
+#define SRC_SERVE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/arm/types.h"
+
+namespace komodo::serve {
+
+using arm::word;
+
+struct CatalogEntry {
+  std::vector<word> code;
+  // Speaks the shared-page batch ABI (shared[0]=n, args at shared[1..n],
+  // results at shared[33+i]; see src/enclave/programs.h). Non-batch programs
+  // take their argument in r0 of Enter and reply via the exit value, so the
+  // scheduler runs them one world switch per request.
+  bool batch_abi = false;
+};
+
+class ProgramCatalog {
+ public:
+  void Register(const std::string& name, CatalogEntry entry);
+  // nullptr when the name is unknown.
+  const CatalogEntry* Find(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, CatalogEntry> entries_;
+};
+
+// counter/echo (batch ABI), add_two (single-shot), spin (never exits; the
+// timeout path's test program).
+ProgramCatalog DefaultCatalog();
+
+}  // namespace komodo::serve
+
+#endif  // SRC_SERVE_CATALOG_H_

@@ -219,17 +219,17 @@ void DiffWorlds(Fn fn) {
 
 TEST(InterpDiffTest, Sha256EnclaveMatches) {
   DiffWorlds([](os::World& w) {
-    os::Os::BuildOptions opts;
-    opts.with_shared_page = true;
     os::EnclaveHandle e;
-    ASSERT_EQ(w.os.BuildEnclave(enclave::Sha256Program(), &opts, &e), kErrSuccess);
+    auto built_e = w.os.NewEnclave().Code(enclave::Sha256Program()).SharedPage().Build();
+    ASSERT_TRUE(built_e.ok());
+    e = *std::move(built_e);
     std::vector<uint8_t> msg(300);
     for (size_t i = 0; i < msg.size(); ++i) {
       msg[i] = static_cast<uint8_t>(i * 7);
     }
-    const word nblocks = enclave::StageSha256Message(w.os, opts.shared_insecure_pgnr, msg);
-    const os::SmcRet r = w.os.Enter(e.thread, nblocks);
-    ASSERT_EQ(r.err, kErrSuccess);
+    const word nblocks = enclave::StageSha256Message(w.os, e.shared_insecure_pgnr, msg);
+    const os::EnterResult r = w.os.Enter(e.thread, nblocks);
+    ASSERT_TRUE(r.exited());
   });
 }
 
@@ -237,19 +237,22 @@ TEST(InterpDiffTest, Sha256EnclaveMatches) {
 // micro-TLB keyed only on virtual page would serve A's translations to B.
 TEST(InterpDiffTest, TtbrRewriteAcrossEnclaveSwitches) {
   DiffWorlds([](os::World& w) {
-    os::Os::BuildOptions opts_a, opts_b;
     os::EnclaveHandle a, b;
-    ASSERT_EQ(w.os.BuildEnclave(enclave::CounterProgram(), &opts_a, &a), kErrSuccess);
-    ASSERT_EQ(w.os.BuildEnclave(enclave::AddTwoProgram(), &opts_b, &b), kErrSuccess);
-    os::SmcRet r = w.os.Enter(a.thread, 5);
-    ASSERT_EQ(r.err, kErrSuccess);
-    EXPECT_EQ(r.val, 5u);
+    auto built_a = w.os.NewEnclave().Code(enclave::CounterProgram()).Build();
+    ASSERT_TRUE(built_a.ok());
+    a = *std::move(built_a);
+    auto built_b = w.os.NewEnclave().Code(enclave::AddTwoProgram()).Build();
+    ASSERT_TRUE(built_b.ok());
+    b = *std::move(built_b);
+    os::EnterResult r = w.os.Enter(a.thread, 5);
+    ASSERT_TRUE(r.exited());
+    EXPECT_EQ(r.payload, 5u);
     r = w.os.Enter(b.thread, 20, 22);
-    ASSERT_EQ(r.err, kErrSuccess);
-    EXPECT_EQ(r.val, 42u);
+    ASSERT_TRUE(r.exited());
+    EXPECT_EQ(r.payload, 42u);
     r = w.os.Enter(a.thread, 7);  // counter persists in A's data page
-    ASSERT_EQ(r.err, kErrSuccess);
-    EXPECT_EQ(r.val, 12u);
+    ASSERT_TRUE(r.exited());
+    EXPECT_EQ(r.payload, 12u);
   });
 }
 
@@ -258,7 +261,6 @@ TEST(InterpDiffTest, DynamicMappingEnclaveMatches) {
     // MapData edits the live page table from monitor C++ mid-run; the
     // uncached path re-walks, the cached path must notice the generation
     // bump on the L2 page.
-    os::Os::BuildOptions opts;
     os::EnclaveHandle e;
     Assembler a(os::kEnclaveCodeVa);
     a.Mov(R7, R0);
@@ -274,12 +276,14 @@ TEST(InterpDiffTest, DynamicMappingEnclaveMatches) {
     a.Add(R1, R1, R4);
     a.MovImm(R0, kSvcExit);
     a.Svc();
-    ASSERT_EQ(w.os.BuildEnclave(a.Finish(), &opts, &e), kErrSuccess);
+    auto built_e = w.os.NewEnclave().Code(a.Finish()).Build();
+    ASSERT_TRUE(built_e.ok());
+    e = *std::move(built_e);
     const PageNr spare = w.os.AllocSecurePage();
     ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
-    const os::SmcRet r = w.os.Enter(e.thread, spare);
-    ASSERT_EQ(r.err, kErrSuccess);
-    EXPECT_EQ(r.val, 0xbeefu);
+    const os::EnterResult r = w.os.Enter(e.thread, spare);
+    ASSERT_TRUE(r.exited());
+    EXPECT_EQ(r.payload, 0xbeefu);
   });
 }
 

@@ -18,11 +18,11 @@ class AttestationTest : public ::testing::Test {
   World w{128};
 
   EnclaveHandle BuildWithShared(const std::vector<word>& code, word* shared_pg) {
-    os::Os::BuildOptions opts;
-    opts.with_shared_page = true;
     EnclaveHandle e;
-    EXPECT_EQ(w.os.BuildEnclave(code, &opts, &e), kErrSuccess);
-    *shared_pg = opts.shared_insecure_pgnr;
+    auto built_e = w.os.NewEnclave().Code(code).SharedPage().Build();
+    EXPECT_TRUE(built_e.ok());
+    if (built_e.ok()) e = *std::move(built_e);
+    *shared_pg = e.shared_insecure_pgnr;
     return e;
   }
 
@@ -38,7 +38,7 @@ TEST_F(AttestationTest, AttestThenVerifySucceeds) {
   const EnclaveHandle verifier = BuildWithShared(enclave::VerifyProgram(), &verifier_shared);
 
   // Attestor produces a MAC over (its measurement, user data derived from 7).
-  ASSERT_EQ(w.os.Enter(attestor.thread, 7).err, kErrSuccess);
+  ASSERT_TRUE(w.os.Enter(attestor.thread, 7).exited());
 
   // The OS ferries data + attestor measurement + MAC to the verifier.
   const crypto::DigestWords measurement = MeasurementOf(attestor.addrspace);
@@ -47,9 +47,9 @@ TEST_F(AttestationTest, AttestThenVerifySucceeds) {
     w.os.WriteInsecure(verifier_shared, 8 + i, measurement[i]);
     w.os.WriteInsecure(verifier_shared, 16 + i, w.os.ReadInsecure(attestor_shared, i));
   }
-  const os::SmcRet r = w.os.Enter(verifier.thread);
-  ASSERT_EQ(r.err, kErrSuccess);
-  EXPECT_EQ(r.val, 1u) << "verification must succeed";
+  const os::EnterResult r = w.os.Enter(verifier.thread);
+  ASSERT_TRUE(r.exited());
+  EXPECT_EQ(r.payload, 1u) << "verification must succeed";
 }
 
 TEST_F(AttestationTest, VerifyRejectsTamperedData) {
@@ -57,7 +57,7 @@ TEST_F(AttestationTest, VerifyRejectsTamperedData) {
   word verifier_shared = 0;
   const EnclaveHandle attestor = BuildWithShared(enclave::AttestProgram(), &attestor_shared);
   const EnclaveHandle verifier = BuildWithShared(enclave::VerifyProgram(), &verifier_shared);
-  ASSERT_EQ(w.os.Enter(attestor.thread, 7).err, kErrSuccess);
+  ASSERT_TRUE(w.os.Enter(attestor.thread, 7).exited());
   const crypto::DigestWords measurement = MeasurementOf(attestor.addrspace);
   for (word i = 0; i < 8; ++i) {
     w.os.WriteInsecure(verifier_shared, i, 7 + i);
@@ -65,7 +65,7 @@ TEST_F(AttestationTest, VerifyRejectsTamperedData) {
     w.os.WriteInsecure(verifier_shared, 16 + i, w.os.ReadInsecure(attestor_shared, i));
   }
   w.os.WriteInsecure(verifier_shared, 0, 9999);  // tamper with the data
-  EXPECT_EQ(w.os.Enter(verifier.thread).val, 0u);
+  EXPECT_EQ(w.os.Enter(verifier.thread).payload, 0u);
 }
 
 TEST_F(AttestationTest, VerifyRejectsWrongMeasurement) {
@@ -73,7 +73,7 @@ TEST_F(AttestationTest, VerifyRejectsWrongMeasurement) {
   word verifier_shared = 0;
   const EnclaveHandle attestor = BuildWithShared(enclave::AttestProgram(), &attestor_shared);
   const EnclaveHandle verifier = BuildWithShared(enclave::VerifyProgram(), &verifier_shared);
-  ASSERT_EQ(w.os.Enter(attestor.thread, 7).err, kErrSuccess);
+  ASSERT_TRUE(w.os.Enter(attestor.thread, 7).exited());
   crypto::DigestWords measurement = MeasurementOf(attestor.addrspace);
   measurement[3] ^= 1;  // claim a different identity
   for (word i = 0; i < 8; ++i) {
@@ -81,7 +81,7 @@ TEST_F(AttestationTest, VerifyRejectsWrongMeasurement) {
     w.os.WriteInsecure(verifier_shared, 8 + i, measurement[i]);
     w.os.WriteInsecure(verifier_shared, 16 + i, w.os.ReadInsecure(attestor_shared, i));
   }
-  EXPECT_EQ(w.os.Enter(verifier.thread).val, 0u);
+  EXPECT_EQ(w.os.Enter(verifier.thread).payload, 0u);
 }
 
 TEST_F(AttestationTest, VerifyRejectsForgedMac) {
@@ -90,7 +90,7 @@ TEST_F(AttestationTest, VerifyRejectsForgedMac) {
   for (word i = 0; i < 24; ++i) {
     w.os.WriteInsecure(verifier_shared, i, 0x41414141 + i);  // pure fabrication
   }
-  EXPECT_EQ(w.os.Enter(verifier.thread).val, 0u);
+  EXPECT_EQ(w.os.Enter(verifier.thread).payload, 0u);
 }
 
 TEST_F(AttestationTest, MacDiffersAcrossBootsWithDifferentEntropy) {
@@ -100,14 +100,14 @@ TEST_F(AttestationTest, MacDiffersAcrossBootsWithDifferentEntropy) {
     Monitor::Config cfg;
     cfg.entropy_seed = seed;
     World world(128, cfg);
-    os::Os::BuildOptions opts;
-    opts.with_shared_page = true;
     os::EnclaveHandle e;
-    EXPECT_EQ(world.os.BuildEnclave(enclave::AttestProgram(), &opts, &e), kErrSuccess);
-    EXPECT_EQ(world.os.Enter(e.thread, 7).err, kErrSuccess);
+    auto built_e = world.os.NewEnclave().Code(enclave::AttestProgram()).SharedPage().Build();
+    EXPECT_TRUE(built_e.ok());
+    if (built_e.ok()) e = *std::move(built_e);
+    EXPECT_TRUE(world.os.Enter(e.thread, 7).exited());
     std::array<word, 8> mac;
     for (word i = 0; i < 8; ++i) {
-      mac[i] = world.os.ReadInsecure(opts.shared_insecure_pgnr, i);
+      mac[i] = world.os.ReadInsecure(e.shared_insecure_pgnr, i);
     }
     return mac;
   };
@@ -128,12 +128,13 @@ TEST_F(AttestationTest, AttestRejectsBadPointers) {
   a.Mov(R1, R0);  // propagate the SVC error as the exit value
   a.MovImm(R0, kSvcExit);
   a.Svc();
-  os::Os::BuildOptions opts;
   EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave(a.Finish(), &opts, &e), kErrSuccess);
-  const os::SmcRet r = w.os.Enter(e.thread);
-  ASSERT_EQ(r.err, kErrSuccess);
-  EXPECT_EQ(r.val, kErrInvalidArgument);
+  auto built_e = w.os.NewEnclave().Code(a.Finish()).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
+  const os::EnterResult r = w.os.Enter(e.thread);
+  ASSERT_TRUE(r.exited());
+  EXPECT_EQ(r.payload, kErrInvalidArgument);
 }
 
 }  // namespace

@@ -33,9 +33,10 @@ TEST(CycleRegressionTest, NullSmcStaysTrivial) {
 TEST(CycleRegressionTest, CrossingStaysWellBelowSgx) {
   os::World w{64};
   enclave::NativeRuntime runtime(w.monitor);
-  os::Os::BuildOptions opts;
   os::EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
   runtime.Register(e.l1pt, std::make_shared<ExitProgram>());
   w.os.Enter(e.thread);
   const uint64_t before = w.machine.cycles.total();
@@ -49,7 +50,6 @@ TEST(CycleRegressionTest, CrossingStaysWellBelowSgx) {
 
 TEST(CycleRegressionTest, AttestDominatedByFiveShaBlocks) {
   os::World w{64};
-  os::Os::BuildOptions opts;
   os::EnclaveHandle e;
   // Enclave issuing a single Attest then exiting, in A32.
   arm::Assembler a(os::kEnclaveCodeVa);
@@ -60,7 +60,9 @@ TEST(CycleRegressionTest, AttestDominatedByFiveShaBlocks) {
   a.MovImm(arm::R1, 0);
   a.MovImm(arm::R0, kSvcExit);
   a.Svc();
-  ASSERT_EQ(w.os.BuildEnclave(a.Finish(), &opts, &e), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code(a.Finish()).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
   w.os.Enter(e.thread);
   const uint64_t before = w.machine.cycles.total();
   w.os.Enter(e.thread);
@@ -73,7 +75,6 @@ TEST(CycleRegressionTest, AttestDominatedByFiveShaBlocks) {
 
 TEST(CycleRegressionTest, MapDataDominatedByZeroFill) {
   os::World w{64};
-  os::Os::BuildOptions opts;
   os::EnclaveHandle e;
   arm::Assembler a(os::kEnclaveCodeVa);
   using namespace arm;
@@ -85,11 +86,13 @@ TEST(CycleRegressionTest, MapDataDominatedByZeroFill) {
   a.MovImm(R1, 0);
   a.MovImm(R0, kSvcExit);
   a.Svc();
-  ASSERT_EQ(w.os.BuildEnclave(a.Finish(), &opts, &e), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code(a.Finish()).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
   const PageNr spare = w.os.AllocSecurePage();
   ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
   const uint64_t before = w.machine.cycles.total();
-  ASSERT_EQ(w.os.Enter(e.thread, spare).err, kErrSuccess);
+  ASSERT_TRUE(w.os.Enter(e.thread, spare).exited());
   const uint64_t cycles = w.machine.cycles.total() - before;
   // Zero-fill alone is 1024 words * ~5 cycles; paper reports 5,826 for the
   // SVC; our measurement includes the crossing.

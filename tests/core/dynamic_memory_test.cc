@@ -20,9 +20,10 @@ class DynMemTest : public ::testing::Test {
   World w{64};
 
   EnclaveHandle Build(const std::vector<word>& code) {
-    os::Os::BuildOptions opts;
     EnclaveHandle e;
-    EXPECT_EQ(w.os.BuildEnclave(code, &opts, &e), kErrSuccess);
+    auto built_e = w.os.NewEnclave().Code(code).Build();
+    EXPECT_TRUE(built_e.ok());
+    if (built_e.ok()) e = *std::move(built_e);
     return e;
   }
 };
@@ -31,9 +32,9 @@ TEST_F(DynMemTest, MapWriteUnmapRoundTrip) {
   const EnclaveHandle e = Build(enclave::DynMemProgram());
   const PageNr spare = w.os.AllocSecurePage();
   ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
-  const SmcRet r = w.os.Enter(e.thread, spare);
-  EXPECT_EQ(r.err, kErrSuccess);
-  EXPECT_EQ(r.val, 0u) << "enclave-reported step failure " << r.val;
+  const os::EnterResult r = w.os.Enter(e.thread, spare);
+  EXPECT_TRUE(r.exited());
+  EXPECT_EQ(r.payload, 0u) << "enclave-reported step failure " << r.payload;
   // After UnmapData the page is spare again and reclaimable by the OS.
   const spec::PageDb d = spec::ExtractPageDb(w.machine);
   EXPECT_EQ(d[spare].type(), PageType::kSparePage);
@@ -64,15 +65,16 @@ TEST_F(DynMemTest, MapDataZeroesThePage) {
   a.MovImm(R0, kSvcExit);
   a.Svc();
   World fresh{64};
-  os::Os::BuildOptions opts;
   EnclaveHandle probe;
-  ASSERT_EQ(fresh.os.BuildEnclave(a.Finish(), &opts, &probe), kErrSuccess);
+  auto built_probe = fresh.os.NewEnclave().Code(a.Finish()).Build();
+  ASSERT_TRUE(built_probe.ok());
+  probe = *std::move(built_probe);
   const PageNr spare2 = fresh.os.AllocSecurePage();
   ASSERT_EQ(fresh.os.AllocSpare(probe.addrspace, spare2).err, kErrSuccess);
   fresh.machine.mem.Write(PagePaddr(spare2) + 64, 0xdeadbeef);
-  const SmcRet r = fresh.os.Enter(probe.thread, spare2);
-  ASSERT_EQ(r.err, kErrSuccess);
-  EXPECT_EQ(r.val, 0u) << "stale contents leaked through MapData";
+  const os::EnterResult r = fresh.os.Enter(probe.thread, spare2);
+  ASSERT_TRUE(r.exited());
+  EXPECT_EQ(r.payload, 0u) << "stale contents leaked through MapData";
   (void)e;
 }
 
@@ -82,18 +84,18 @@ TEST_F(DynMemTest, EnclaveCannotMapForeignSpare) {
   const EnclaveHandle attacker = Build(enclave::DynMemProgram());
   const PageNr spare = w.os.AllocSecurePage();
   ASSERT_EQ(w.os.AllocSpare(victim.addrspace, spare).err, kErrSuccess);
-  const SmcRet r = w.os.Enter(attacker.thread, spare);
-  EXPECT_EQ(r.err, kErrSuccess);
-  EXPECT_EQ(r.val, 1u);  // step 1 (MapData) failed inside the enclave
+  const os::EnterResult r = w.os.Enter(attacker.thread, spare);
+  EXPECT_TRUE(r.exited());
+  EXPECT_EQ(r.payload, 1u);  // step 1 (MapData) failed inside the enclave
 }
 
 TEST_F(DynMemTest, EnclaveCannotMapArbitraryPages) {
   // Data pages, page tables, even its own addrspace page are not spares.
   const EnclaveHandle e = Build(enclave::DynMemProgram());
   for (const PageNr target : {e.addrspace, e.l1pt, e.data_pages[0], e.thread}) {
-    const SmcRet r = w.os.Enter(e.thread, target);
-    EXPECT_EQ(r.err, kErrSuccess);
-    EXPECT_EQ(r.val, 1u) << "page " << target << " must not be mappable";
+    const os::EnterResult r = w.os.Enter(e.thread, target);
+    EXPECT_TRUE(r.exited());
+    EXPECT_EQ(r.payload, 1u) << "page " << target << " must not be mappable";
   }
 }
 
@@ -111,12 +113,13 @@ TEST_F(DynMemTest, OsCannotRemoveMappedDataPageUntilUnmapped) {
   a.Mov(R1, R0);
   a.MovImm(R0, kSvcExit);
   a.Svc();
-  os::Os::BuildOptions opts;
   EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave(a.Finish(), &opts, &e), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code(a.Finish()).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
   const PageNr spare = w.os.AllocSecurePage();
   ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
-  ASSERT_EQ(w.os.Enter(e.thread, spare).val, kErrSuccess);
+  ASSERT_EQ(w.os.Enter(e.thread, spare).payload, kErrSuccess);
 
   EXPECT_EQ(w.os.Remove(spare).err, kErrNotStopped);  // it's a data page now
   const spec::PageDb d = spec::ExtractPageDb(w.machine);
@@ -155,16 +158,17 @@ TEST_F(DynMemTest, SvcInitL2TableExtendsAddressSpace) {
   a.MovImm(R0, kSvcExit);
   a.Svc();
 
-  os::Os::BuildOptions opts;
   EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave(a.Finish(), &opts, &e), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code(a.Finish()).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
   const PageNr spare_l2 = w.os.AllocSecurePage();
   const PageNr spare_data = w.os.AllocSecurePage();
   ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare_l2).err, kErrSuccess);
   ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare_data).err, kErrSuccess);
-  const SmcRet r = w.os.Enter(e.thread, spare_l2, spare_data);
-  ASSERT_EQ(r.err, kErrSuccess);
-  EXPECT_EQ(r.val, 1234u);
+  const os::EnterResult r = w.os.Enter(e.thread, spare_l2, spare_data);
+  ASSERT_TRUE(r.exited());
+  EXPECT_EQ(r.payload, 1234u);
   const spec::PageDb d = spec::ExtractPageDb(w.machine);
   EXPECT_EQ(d[spare_l2].type(), PageType::kL2PTable);
   EXPECT_EQ(d[spare_data].type(), PageType::kDataPage);
@@ -179,7 +183,7 @@ TEST_F(DynMemTest, DynamicAllocationInvisibleInMeasurement) {
       spec::ExtractPageDb(w.machine)[e.addrspace].As<spec::AddrspacePage>().measurement;
   const PageNr spare = w.os.AllocSecurePage();
   ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
-  ASSERT_EQ(w.os.Enter(e.thread, spare).err, kErrSuccess);
+  ASSERT_TRUE(w.os.Enter(e.thread, spare).exited());
   const auto after =
       spec::ExtractPageDb(w.machine)[e.addrspace].As<spec::AddrspacePage>().measurement;
   EXPECT_EQ(before, after);
@@ -201,14 +205,15 @@ TEST_F(DynMemTest, UnmapRequiresMatchingMapping) {
   a.Mov(R1, R0);  // expect an error code
   a.MovImm(R0, kSvcExit);
   a.Svc();
-  os::Os::BuildOptions opts;
   EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave(a.Finish(), &opts, &e), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code(a.Finish()).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
   const PageNr spare = w.os.AllocSecurePage();
   ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
-  const SmcRet r = w.os.Enter(e.thread, spare);
-  ASSERT_EQ(r.err, kErrSuccess);
-  EXPECT_EQ(r.val, kErrInvalidMapping);
+  const os::EnterResult r = w.os.Enter(e.thread, spare);
+  ASSERT_TRUE(r.exited());
+  EXPECT_EQ(r.payload, kErrInvalidMapping);
 }
 
 }  // namespace

@@ -27,22 +27,22 @@ TEST(EnclaveFuzzTest, RandomValidInstructionStreams) {
     Monitor::Config cfg;
     cfg.max_enclave_steps = 5000;  // bound runaway loops
     World w(64, cfg);
-    os::Os::BuildOptions opts;
-    opts.with_shared_page = true;
     os::EnclaveHandle e;
-    ASSERT_EQ(w.os.BuildEnclave(code, &opts, &e), kErrSuccess) << seed;
+    auto built_e = w.os.NewEnclave().Code(code).SharedPage().Build();
+    ASSERT_TRUE(built_e.ok()) << seed;
+    e = *std::move(built_e);
 
     // Poison the OS registers so sanitisation failures are visible.
     for (int i = 5; i <= 11; ++i) {
       w.machine.r[i] = 0xc0de0000 + i;
     }
-    os::SmcRet r = w.os.Enter(e.thread, drbg.NextWord(), drbg.NextWord());
+    os::EnterResult r = w.os.Enter(e.thread, drbg.NextWord(), drbg.NextWord());
     // The enclave may exit, fault, get interrupted, or be suspended — and may
     // be resumed; drive it a few more slices if suspended.
-    for (int slice = 0; slice < 5 && r.err == kErrInterrupted; ++slice) {
+    for (int slice = 0; slice < 5 && r.interrupted(); ++slice) {
       r = w.os.Resume(e.thread);
     }
-    EXPECT_TRUE(r.err == kErrSuccess || r.err == kErrFault || r.err == kErrInterrupted)
+    EXPECT_TRUE(r.exited() || r.faulted() || r.interrupted())
         << "seed " << seed << ": unexpected error " << KomErrName(r.err);
 
     // OS context restored, scratch registers sanitised.
@@ -76,14 +76,15 @@ TEST(EnclaveFuzzTest, RawRandomWordsAsCode) {
     Monitor::Config cfg;
     cfg.max_enclave_steps = 2000;
     World w(32, cfg);
-    os::Os::BuildOptions opts;
     os::EnclaveHandle e;
-    ASSERT_EQ(w.os.BuildEnclave(code, &opts, &e), kErrSuccess);
-    os::SmcRet r = w.os.Enter(e.thread);
-    for (int slice = 0; slice < 3 && r.err == kErrInterrupted; ++slice) {
+    auto built_e = w.os.NewEnclave().Code(code).Build();
+    ASSERT_TRUE(built_e.ok());
+    e = *std::move(built_e);
+    os::EnterResult r = w.os.Enter(e.thread);
+    for (int slice = 0; slice < 3 && r.interrupted(); ++slice) {
       r = w.os.Resume(e.thread);
     }
-    EXPECT_TRUE(r.err == kErrSuccess || r.err == kErrFault || r.err == kErrInterrupted)
+    EXPECT_TRUE(r.exited() || r.faulted() || r.interrupted())
         << "seed " << seed;
     const auto violations = spec::PageDbViolations(spec::ExtractPageDb(w.machine));
     ASSERT_TRUE(violations.empty()) << "seed " << seed << ": " << violations.front();
@@ -98,10 +99,10 @@ TEST(EnclaveFuzzTest, FuzzedEnclavesCannotReachOtherEnclaves) {
   cfg.max_enclave_steps = 5000;
   World w(64, cfg);
 
-  os::Os::BuildOptions vopts;
-  vopts.data_init = {0x5ec2e7};
   os::EnclaveHandle victim;
-  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &vopts, &victim), kErrSuccess);
+  auto built_victim = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).Data({0x5ec2e7}).Build();
+  ASSERT_TRUE(built_victim.ok());
+  victim = *std::move(built_victim);
   const auto victim_page_before =
       spec::ExtractPageDb(w.machine)[victim.data_pages[1]];
 
@@ -110,11 +111,12 @@ TEST(EnclaveFuzzTest, FuzzedEnclavesCannotReachOtherEnclaves) {
     for (int i = 0; i < 150; ++i) {
       code.push_back(RandomEnclaveInsn(drbg));
     }
-    os::Os::BuildOptions opts;
     os::EnclaveHandle attacker;
-    ASSERT_EQ(w.os.BuildEnclave(code, &opts, &attacker), kErrSuccess);
-    os::SmcRet r = w.os.Enter(attacker.thread, drbg.NextWord());
-    for (int slice = 0; slice < 3 && r.err == kErrInterrupted; ++slice) {
+    auto built_attacker = w.os.NewEnclave().Code(code).Build();
+    ASSERT_TRUE(built_attacker.ok());
+    attacker = *std::move(built_attacker);
+    os::EnterResult r = w.os.Enter(attacker.thread, drbg.NextWord());
+    for (int slice = 0; slice < 3 && r.interrupted(); ++slice) {
       r = w.os.Resume(attacker.thread);
     }
     // Tear the attacker down to recycle pages for the next round.
@@ -137,7 +139,7 @@ TEST(EnclaveFuzzTest, FuzzedEnclavesCannotReachOtherEnclaves) {
 
   const auto victim_page_after = spec::ExtractPageDb(w.machine)[victim.data_pages[1]];
   EXPECT_TRUE(victim_page_after == victim_page_before);
-  EXPECT_EQ(w.os.Enter(victim.thread).err, kErrSuccess);
+  EXPECT_TRUE(w.os.Enter(victim.thread).exited());
 }
 
 }  // namespace

@@ -12,6 +12,7 @@ namespace komodo {
 namespace {
 
 using os::EnclaveHandle;
+using os::EnterResult;
 using os::SmcRet;
 using os::World;
 
@@ -19,14 +20,11 @@ class ExecTest : public ::testing::Test {
  protected:
   World w{64};
 
-  EnclaveHandle Build(const std::vector<word>& code, os::Os::BuildOptions* opts = nullptr) {
-    os::Os::BuildOptions default_opts;
-    default_opts.with_shared_page = true;
-    os::Os::BuildOptions* use = opts != nullptr ? opts : &default_opts;
-    EnclaveHandle handle;
-    const word err = w.os.BuildEnclave(code, use, &handle);
-    EXPECT_EQ(err, kErrSuccess);
-    shared_pg_ = use->shared_insecure_pgnr;
+  EnclaveHandle Build(const std::vector<word>& code) {
+    auto built = w.os.NewEnclave().Code(code).SharedPage().Build();
+    EXPECT_TRUE(built.ok());
+    EnclaveHandle handle = *std::move(built);
+    shared_pg_ = handle.shared_insecure_pgnr;
     return handle;
   }
 
@@ -35,15 +33,15 @@ class ExecTest : public ::testing::Test {
 
 TEST_F(ExecTest, EnterRunsEnclaveAndReturnsExitValue) {
   const EnclaveHandle e = Build(enclave::AddTwoProgram());
-  const SmcRet r = w.os.Enter(e.thread, 20, 22);
-  EXPECT_EQ(r.err, kErrSuccess);
-  EXPECT_EQ(r.val, 42u);
+  const EnterResult r = w.os.Enter(e.thread, 20, 22);
+  EXPECT_TRUE(r.exited());
+  EXPECT_EQ(r.payload, 42u);
 }
 
 TEST_F(ExecTest, ExitLeavesThreadReenterable) {
   const EnclaveHandle e = Build(enclave::AddTwoProgram());
-  EXPECT_EQ(w.os.Enter(e.thread, 1, 2).val, 3u);
-  EXPECT_EQ(w.os.Enter(e.thread, 10, 20).val, 30u);
+  EXPECT_EQ(w.os.Enter(e.thread, 1, 2).payload, 3u);
+  EXPECT_EQ(w.os.Enter(e.thread, 10, 20).payload, 30u);
 }
 
 TEST_F(ExecTest, OsReturnsToNormalWorldSupervisor) {
@@ -56,19 +54,20 @@ TEST_F(ExecTest, OsReturnsToNormalWorldSupervisor) {
 TEST_F(ExecTest, SharedPageCommunication) {
   const EnclaveHandle e = Build(enclave::EchoSharedProgram());
   w.os.WriteInsecure(shared_pg_, 0, 21);
-  const SmcRet r = w.os.Enter(e.thread);
-  EXPECT_EQ(r.err, kErrSuccess);
-  EXPECT_EQ(r.val, 21u);
+  const EnterResult r = w.os.Enter(e.thread);
+  EXPECT_TRUE(r.exited());
+  EXPECT_EQ(r.payload, 21u);
   EXPECT_EQ(w.os.ReadInsecure(shared_pg_, 1), 43u);  // 2*21+1
 }
 
 TEST_F(ExecTest, DataPagePersistsAcrossEntries) {
-  os::Os::BuildOptions opts;
-  opts.data_init = {100};  // counter starts at 100
-  const EnclaveHandle e = Build(enclave::CounterProgram(), &opts);
-  EXPECT_EQ(w.os.Enter(e.thread, 5).val, 105u);
-  EXPECT_EQ(w.os.Enter(e.thread, 7).val, 112u);
-  EXPECT_EQ(w.os.Enter(e.thread, 0).val, 112u);
+  EnclaveHandle e;
+  auto built_e = w.os.NewEnclave().Code(enclave::CounterProgram()).Data({100}).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
+  EXPECT_EQ(w.os.Enter(e.thread, 5).payload, 105u);
+  EXPECT_EQ(w.os.Enter(e.thread, 7).payload, 112u);
+  EXPECT_EQ(w.os.Enter(e.thread, 0).payload, 112u);
 }
 
 TEST_F(ExecTest, InterruptSuspendsAndResumeContinues) {
@@ -77,23 +76,23 @@ TEST_F(ExecTest, InterruptSuspendsAndResumeContinues) {
     c.max_enclave_steps = 500;  // force the timer to fire mid-spin
     return c;
   }());
-  os::Os::BuildOptions opts;
-  opts.with_shared_page = false;
   EnclaveHandle e;
-  ASSERT_EQ(small.os.BuildEnclave(enclave::SpinProgram(), &opts, &e), kErrSuccess);
+  auto built_e = small.os.NewEnclave().Code(enclave::SpinProgram()).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
 
-  const SmcRet r = small.os.Enter(e.thread, 0xbeef);
-  EXPECT_EQ(r.err, kErrInterrupted);
-  EXPECT_EQ(r.val, 0u);  // nothing but the fact of the interrupt is reported
+  const EnterResult r = small.os.Enter(e.thread, 0xbeef);
+  EXPECT_TRUE(r.interrupted());
+  EXPECT_EQ(r.payload, 0u);  // nothing but the fact of the interrupt is reported
 
   // The dispatcher is marked entered, with the user context saved.
   spec::PageDb d = spec::ExtractPageDb(small.machine);
   EXPECT_TRUE(d[e.thread].As<spec::DispatcherPage>().entered);
 
   // Re-entering an entered thread fails; Resume continues it.
-  EXPECT_EQ(small.os.Enter(e.thread).err, kErrAlreadyEntered);
-  const SmcRet r2 = small.os.Resume(e.thread);
-  EXPECT_EQ(r2.err, kErrInterrupted);  // it spins forever, interrupted again
+  EXPECT_EQ(small.os.Enter(e.thread).err, KomErr::kAlreadyEntered);
+  const EnterResult r2 = small.os.Resume(e.thread);
+  EXPECT_TRUE(r2.interrupted());  // it spins forever, interrupted again
 
   // Context was preserved: the spin stored arg1 into data[0] before looping.
   d = spec::ExtractPageDb(small.machine);
@@ -110,14 +109,14 @@ TEST_F(ExecTest, ResumedRegistersPreserved) {
     c.max_enclave_steps = 1000;
     return c;
   }());
-  os::Os::BuildOptions opts;
-  opts.with_shared_page = false;
   EnclaveHandle e;
-  ASSERT_EQ(small.os.BuildEnclave(enclave::SpinProgram(), &opts, &e), kErrSuccess);
-  ASSERT_EQ(small.os.Enter(e.thread, 0).err, kErrInterrupted);
+  auto built_e = small.os.NewEnclave().Code(enclave::SpinProgram()).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
+  ASSERT_TRUE(small.os.Enter(e.thread, 0).interrupted());
   const word r6_first =
       spec::ExtractPageDb(small.machine)[e.thread].As<spec::DispatcherPage>().regs[6];
-  ASSERT_EQ(small.os.Resume(e.thread).err, kErrInterrupted);
+  ASSERT_TRUE(small.os.Resume(e.thread).interrupted());
   const word r6_second =
       spec::ExtractPageDb(small.machine)[e.thread].As<spec::DispatcherPage>().regs[6];
   EXPECT_GT(r6_second, r6_first);
@@ -135,15 +134,15 @@ TEST_F(ExecTest, FaultingEnclaveReportsOnlyExceptionType) {
   };
   for (const Case& c : cases) {
     World fresh{64};
-    os::Os::BuildOptions opts;
-    opts.with_shared_page = false;
-    EnclaveHandle e;
-    ASSERT_EQ(fresh.os.BuildEnclave(c.code, &opts, &e), kErrSuccess);
-    const SmcRet r = fresh.os.Enter(e.thread);
-    EXPECT_EQ(r.err, kErrFault);
-    EXPECT_EQ(r.val, c.expected_code);
+      EnclaveHandle e;
+    auto built_e = fresh.os.NewEnclave().Code(c.code).Build();
+    ASSERT_TRUE(built_e.ok());
+    e = *std::move(built_e);
+    const EnterResult r = fresh.os.Enter(e.thread);
+    EXPECT_TRUE(r.faulted());
+    EXPECT_EQ(r.payload, c.expected_code);
     // A faulted thread may be re-entered fresh (§4).
-    EXPECT_EQ(fresh.os.Enter(e.thread).err, kErrFault);
+    EXPECT_TRUE(fresh.os.Enter(e.thread).faulted());
   }
 }
 
@@ -181,7 +180,7 @@ TEST_F(ExecTest, OsBankedRegistersPreservedAcrossEnclaveRun) {
 
 TEST_F(ExecTest, GetRandomSvcFillsSharedPage) {
   const EnclaveHandle e = Build(enclave::RandomProgram());
-  ASSERT_EQ(w.os.Enter(e.thread).err, kErrSuccess);
+  ASSERT_TRUE(w.os.Enter(e.thread).exited());
   // Four words were produced; vanishingly unlikely to be zero.
   word distinct = 0;
   for (word i = 0; i < 4; ++i) {
@@ -195,7 +194,7 @@ TEST_F(ExecTest, GetRandomSvcFillsSharedPage) {
 TEST_F(ExecTest, StoppedEnclaveCannotRun) {
   const EnclaveHandle e = Build(enclave::AddTwoProgram());
   ASSERT_EQ(w.os.Stop(e.addrspace).err, kErrSuccess);
-  EXPECT_EQ(w.os.Enter(e.thread).err, kErrNotFinal);
+  EXPECT_EQ(w.os.Enter(e.thread).err, KomErr::kNotFinal);
 }
 
 TEST_F(ExecTest, PageDbInvariantsHoldAfterExecution) {

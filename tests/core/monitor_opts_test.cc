@@ -39,18 +39,19 @@ class MonitorOptsTest : public ::testing::TestWithParam<OptConfig> {
 
 TEST_P(MonitorOptsTest, EnterExitResumeStillCorrect) {
   World w(64, Config(600));
-  os::Os::BuildOptions opts;
   os::EnclaveHandle spin;
-  ASSERT_EQ(w.os.BuildEnclave(enclave::SpinProgram(), &opts, &spin), kErrSuccess);
-  os::Os::BuildOptions copts;
-  copts.data_init = {100};
+  auto built_spin = w.os.NewEnclave().Code(enclave::SpinProgram()).Build();
+  ASSERT_TRUE(built_spin.ok());
+  spin = *std::move(built_spin);
   os::EnclaveHandle counter;
-  ASSERT_EQ(w.os.BuildEnclave(enclave::CounterProgram(), &copts, &counter), kErrSuccess);
+  auto built_counter = w.os.NewEnclave().Code(enclave::CounterProgram()).Data({100}).Build();
+  ASSERT_TRUE(built_counter.ok());
+  counter = *std::move(built_counter);
 
-  EXPECT_EQ(w.os.Enter(counter.thread, 5).val, 105u);
-  ASSERT_EQ(w.os.Enter(spin.thread, 0xbeef).err, kErrInterrupted);
-  EXPECT_EQ(w.os.Enter(counter.thread, 1).val, 106u);  // interleave other enclave
-  ASSERT_EQ(w.os.Resume(spin.thread).err, kErrInterrupted);
+  EXPECT_EQ(w.os.Enter(counter.thread, 5).payload, 105u);
+  ASSERT_TRUE(w.os.Enter(spin.thread, 0xbeef).interrupted());
+  EXPECT_EQ(w.os.Enter(counter.thread, 1).payload, 106u);  // interleave other enclave
+  ASSERT_TRUE(w.os.Resume(spin.thread).interrupted());
   // The spin stored its arg before looping: context survived the detour.
   EXPECT_EQ(spec::ExtractPageDb(w.machine)[spin.data_pages[1]]
                 .As<spec::DataPage>()
@@ -61,14 +62,15 @@ TEST_P(MonitorOptsTest, EnterExitResumeStillCorrect) {
 
 TEST_P(MonitorOptsTest, BankedRegistersStillPreservedOrScrubbed) {
   World w(64, Config());
-  os::Os::BuildOptions opts;
   os::EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave(enclave::AddTwoProgram(), &opts, &e), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code(enclave::AddTwoProgram()).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
   auto& m = w.machine;
   m.sp_banked[static_cast<size_t>(arm::Mode::kIrq)] = 0x111;
   m.lr_banked[static_cast<size_t>(arm::Mode::kSupervisor)] = 0x222;
   m.sp_banked[static_cast<size_t>(arm::Mode::kUser)] = 0x333;
-  ASSERT_EQ(w.os.Enter(e.thread, 1, 2).val, 3u);
+  ASSERT_EQ(w.os.Enter(e.thread, 1, 2).payload, 3u);
   // These banks are saved in every configuration (used by the monitor and by
   // the SVC path), so they must be exactly preserved.
   EXPECT_EQ(m.sp_banked[static_cast<size_t>(arm::Mode::kIrq)], 0x111u);
@@ -82,11 +84,12 @@ TEST_P(MonitorOptsTest, FaultingEnclaveLeaksNothingThroughAbortBank) {
   // execution check: two worlds, different secrets, faulting victims.
   auto run = [this](word secret) {
     auto w = std::make_unique<World>(64, Config());
-    os::Os::BuildOptions opts;
     os::EnclaveHandle e;
-    EXPECT_EQ(w->os.BuildEnclave(enclave::ReadOutsideProgram(), &opts, &e), kErrSuccess);
+    auto built_e = w->os.NewEnclave().Code(enclave::ReadOutsideProgram()).Build();
+    EXPECT_TRUE(built_e.ok());
+    if (built_e.ok()) e = *std::move(built_e);
     w->machine.mem.Write(PagePaddr(e.data_pages[1]), secret);
-    EXPECT_EQ(w->os.Enter(e.thread).err, kErrFault);
+    EXPECT_TRUE(w->os.Enter(e.thread).faulted());
     return w;
   };
   auto w1 = run(0x1111);
@@ -102,16 +105,16 @@ TEST_P(MonitorOptsTest, ConfidentialityAcrossRepeatedEntries) {
   // enclaves alternating, secrets differing across paired worlds.
   auto run = [this](word secret) {
     auto w = std::make_unique<World>(64, Config());
-    os::Os::BuildOptions o1;
-    o1.with_shared_page = true;
     os::EnclaveHandle victim;
-    EXPECT_EQ(w->os.BuildEnclave(enclave::CounterProgram(), &o1, &victim), kErrSuccess);
-    os::Os::BuildOptions o2;
-    o2.with_shared_page = true;
+    auto built_victim = w->os.NewEnclave().Code(enclave::CounterProgram()).SharedPage().Build();
+    EXPECT_TRUE(built_victim.ok());
+    if (built_victim.ok()) victim = *std::move(built_victim);
     os::EnclaveHandle other;
-    EXPECT_EQ(w->os.BuildEnclave(enclave::EchoSharedProgram(), &o2, &other), kErrSuccess);
+    auto built_other = w->os.NewEnclave().Code(enclave::EchoSharedProgram()).SharedPage().Build();
+    EXPECT_TRUE(built_other.ok());
+    if (built_other.ok()) other = *std::move(built_other);
     w->machine.mem.Write(PagePaddr(victim.data_pages[1]) + 8, secret);
-    w->os.WriteInsecure(o2.shared_insecure_pgnr, 0, 7);
+    w->os.WriteInsecure(other.shared_insecure_pgnr, 0, 7);
     w->os.Enter(victim.thread, 1);
     w->os.Enter(victim.thread, 2);  // repeated same-enclave entry (fast path)
     w->os.Enter(other.thread);

@@ -279,12 +279,12 @@ TEST_F(SmcTest, SparesDoNotAffectMeasurement) {
 TEST_F(SmcTest, EnterValidation) {
   ASSERT_EQ(w.os.InitAddrspace(3, 4).err, kErrSuccess);
   ASSERT_EQ(w.os.InitThread(3, 7, 0x8000).err, kErrSuccess);
-  EXPECT_EQ(w.os.Enter(7).err, kErrNotFinal);      // not finalised
-  EXPECT_EQ(w.os.Enter(3).err, kErrInvalidPageNo);  // not a thread
-  EXPECT_EQ(w.os.Enter(63).err, kErrInvalidPageNo);
-  EXPECT_EQ(w.os.Resume(7).err, kErrNotFinal);
+  EXPECT_EQ(w.os.Enter(7).err, KomErr::kNotFinal);  // not finalised
+  EXPECT_EQ(w.os.Enter(3).err, KomErr::kInvalidPageNo);  // not a thread
+  EXPECT_EQ(w.os.Enter(63).err, KomErr::kInvalidPageNo);
+  EXPECT_EQ(w.os.Resume(7).err, KomErr::kNotFinal);
   ASSERT_EQ(w.os.Finalise(3).err, kErrSuccess);
-  EXPECT_EQ(w.os.Resume(7).err, kErrNotEntered);  // never suspended
+  EXPECT_EQ(w.os.Resume(7).err, KomErr::kNotEntered);  // never suspended
 }
 
 TEST_F(SmcTest, CyclesChargedPerCall) {

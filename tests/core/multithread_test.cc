@@ -86,9 +86,9 @@ class MultiThreadTest : public ::testing::Test {
 TEST_F(MultiThreadTest, ThreadsShareTheAddressSpace) {
   Build();
   // data[0] = 1; A adds, B multiplies — interleaved through shared state.
-  EXPECT_EQ(w.os.Enter(thread_a, 4).val, 5u);   // 1 + 4
-  EXPECT_EQ(w.os.Enter(thread_b, 3).val, 15u);  // 5 * 3
-  EXPECT_EQ(w.os.Enter(thread_a, 1).val, 16u);  // 15 + 1
+  EXPECT_EQ(w.os.Enter(thread_a, 4).payload, 5u);   // 1 + 4
+  EXPECT_EQ(w.os.Enter(thread_b, 3).payload, 15u);  // 5 * 3
+  EXPECT_EQ(w.os.Enter(thread_a, 1).payload, 16u);  // 15 + 1
 }
 
 TEST_F(MultiThreadTest, EachThreadSuspendsIndependently) {
@@ -96,12 +96,12 @@ TEST_F(MultiThreadTest, EachThreadSuspendsIndependently) {
   // run B to completion, then resume A.
   Build();
   w.machine.pending_irq = true;
-  ASSERT_EQ(w.os.Enter(thread_a, 4).err, kErrInterrupted);
+  ASSERT_TRUE(w.os.Enter(thread_a, 4).interrupted());
   // A is suspended; B still enterable.
-  EXPECT_EQ(w.os.Enter(thread_b, 3).err, kErrSuccess);
-  EXPECT_EQ(w.os.Enter(thread_a, 9).err, kErrAlreadyEntered);
-  EXPECT_EQ(w.os.Resume(thread_b).err, kErrNotEntered);
-  EXPECT_EQ(w.os.Resume(thread_a).err, kErrSuccess);
+  EXPECT_TRUE(w.os.Enter(thread_b, 3).exited());
+  EXPECT_EQ(w.os.Enter(thread_a, 9).err, KomErr::kAlreadyEntered);
+  EXPECT_EQ(w.os.Resume(thread_b).err, KomErr::kNotEntered);
+  EXPECT_TRUE(w.os.Resume(thread_a).exited());
   EXPECT_TRUE(spec::ValidPageDb(spec::ExtractPageDb(w.machine)));
 }
 
@@ -193,10 +193,10 @@ TEST(SharedChannelTest, TwoEnclavesShareAnInsecurePage) {
   build(a.Finish(), channel, &consumer);
 
   w.os.WriteInsecure(channel, 0, 21);
-  ASSERT_EQ(w.os.Enter(producer.thread).err, kErrSuccess);
-  const os::SmcRet r = w.os.Enter(consumer.thread);
-  ASSERT_EQ(r.err, kErrSuccess);
-  EXPECT_EQ(r.val, 43u);  // 2*21+1, via the shared channel
+  ASSERT_TRUE(w.os.Enter(producer.thread).exited());
+  const os::EnterResult r = w.os.Enter(consumer.thread);
+  ASSERT_TRUE(r.exited());
+  EXPECT_EQ(r.payload, 43u);  // 2*21+1, via the shared channel
 }
 
 }  // namespace

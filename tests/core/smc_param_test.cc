@@ -56,12 +56,12 @@ TEST_P(SmcSweepTest, CannotMakeFinalisedEnclaveFault) {
   // before, or is cleanly not runnable (stopped) — it never faults.
   const word call = GetParam();
   World w{64};
-  os::Os::BuildOptions opts;
-  opts.with_shared_page = true;
   os::EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave(enclave::EchoSharedProgram(), &opts, &e), kErrSuccess);
-  w.os.WriteInsecure(opts.shared_insecure_pgnr, 0, 21);
-  ASSERT_EQ(w.os.Enter(e.thread).err, kErrSuccess);  // baseline run
+  auto built_e = w.os.NewEnclave().Code(enclave::EchoSharedProgram()).SharedPage().Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
+  w.os.WriteInsecure(e.shared_insecure_pgnr, 0, 21);
+  ASSERT_TRUE(w.os.Enter(e.thread).exited());  // baseline run
 
   // Attack every page of the enclave with this call.
   const PageNr targets[] = {e.addrspace, e.l1pt, e.l2pts[0], e.thread, e.data_pages[0],
@@ -72,12 +72,12 @@ TEST_P(SmcSweepTest, CannotMakeFinalisedEnclaveFault) {
     }
   }
 
-  const os::SmcRet r = w.os.Enter(e.thread);
+  const os::EnterResult r = w.os.Enter(e.thread);
   if (call == kSmcStop) {
-    EXPECT_EQ(r.err, kErrNotFinal);  // cleanly stopped, not faulted
+    EXPECT_EQ(r.err, KomErr::kNotFinal);  // cleanly stopped, not faulted
   } else {
-    EXPECT_EQ(r.err, kErrSuccess) << "call " << call << " broke the enclave";
-    EXPECT_EQ(r.val, 21u);
+    EXPECT_TRUE(r.exited()) << "call " << call << " broke the enclave";
+    EXPECT_EQ(r.payload, 21u);
   }
   EXPECT_TRUE(spec::ValidPageDb(spec::ExtractPageDb(w.machine)));
 }

@@ -36,24 +36,26 @@ std::vector<word> MapAndTouchProgram() {
 
 TEST(TlbTest, MonitorFlushesAfterDynamicMappingSvc) {
   World w{64};
-  os::Os::BuildOptions opts;
   os::EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave(MapAndTouchProgram(), &opts, &e), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code(MapAndTouchProgram()).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
   const PageNr spare = w.os.AllocSecurePage();
   ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
-  const os::SmcRet r = w.os.Enter(e.thread, spare);
-  ASSERT_EQ(r.err, kErrSuccess);
-  EXPECT_EQ(r.val, 0x1234u);
+  const os::EnterResult r = w.os.Enter(e.thread, spare);
+  ASSERT_TRUE(r.exited());
+  EXPECT_EQ(r.payload, 0x1234u);
   EXPECT_TRUE(w.machine.tlb_consistent);
 }
 
 TEST(TlbTest, EnterLeavesTlbConsistent) {
   World w{64};
-  os::Os::BuildOptions opts;
   os::EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
   // Construction dirtied page tables; Enter must flush before user mode.
-  EXPECT_EQ(w.os.Enter(e.thread).err, kErrSuccess);
+  EXPECT_TRUE(w.os.Enter(e.thread).exited());
   EXPECT_TRUE(w.machine.tlb_consistent);
 }
 
@@ -62,16 +64,18 @@ TEST(TlbTest, ConstructionSmcsOnInactiveTableDoNotRequireFlush) {
   // editing a different enclave's tables must not invalidate the live TLB
   // tracking needlessly... but editing the *live* one must.
   World w{64};
-  os::Os::BuildOptions opts;
   os::EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e), kErrSuccess);
-  ASSERT_EQ(w.os.Enter(e.thread).err, kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
+  ASSERT_TRUE(w.os.Enter(e.thread).exited());
   ASSERT_TRUE(w.machine.tlb_consistent);
   // TTBR0 still holds e's table. Build a second enclave: its page-table
   // writes touch only its own (inactive) tables.
-  os::Os::BuildOptions opts2;
   os::EnclaveHandle e2;
-  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts2, &e2), kErrSuccess);
+  auto built_e2 = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).Build();
+  ASSERT_TRUE(built_e2.ok());
+  e2 = *std::move(built_e2);
   EXPECT_TRUE(w.machine.tlb_consistent);
   // But a dynamic map into e (whose table is live in TTBR0) marks it stale.
   const PageNr spare = w.os.AllocSecurePage();
@@ -83,32 +87,33 @@ TEST(TlbTest, SkipFlushOptimisationOnlyFiresWhenSafe) {
   Monitor::Config cfg;
   cfg.opt_skip_redundant_tlb_flush = true;
   World w(64, cfg);
-  os::Os::BuildOptions opts;
-  opts.with_shared_page = true;
   os::EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave(MapAndTouchProgram(), &opts, &e), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code(MapAndTouchProgram()).SharedPage().Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
 
   // Two consecutive entries of the same enclave: the second may skip the
   // flush, and everything still works.
   os::EnclaveHandle trivial;
-  os::Os::BuildOptions topts;
-  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &topts, &trivial), kErrSuccess);
-  ASSERT_EQ(w.os.Enter(trivial.thread).err, kErrSuccess);
+  auto built_trivial = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).Build();
+  ASSERT_TRUE(built_trivial.ok());
+  trivial = *std::move(built_trivial);
+  ASSERT_TRUE(w.os.Enter(trivial.thread).exited());
   const uint64_t before = w.machine.cycles.total();
-  ASSERT_EQ(w.os.Enter(trivial.thread).err, kErrSuccess);
+  ASSERT_TRUE(w.os.Enter(trivial.thread).exited());
   const uint64_t warm = w.machine.cycles.total() - before;
 
   // Dynamic mapping dirties the live table mid-run; the next entry must NOT
   // skip the flush (correctness over speed).
   const PageNr spare = w.os.AllocSecurePage();
   ASSERT_EQ(w.os.AllocSpare(e.addrspace, spare).err, kErrSuccess);
-  const os::SmcRet r = w.os.Enter(e.thread, spare);
-  ASSERT_EQ(r.err, kErrSuccess);
-  EXPECT_EQ(r.val, 0x1234u);
+  const os::EnterResult r = w.os.Enter(e.thread, spare);
+  ASSERT_TRUE(r.exited());
+  EXPECT_EQ(r.payload, 0x1234u);
 
   // Re-entering the trivial enclave after a table switch cannot skip either.
   const uint64_t before2 = w.machine.cycles.total();
-  ASSERT_EQ(w.os.Enter(trivial.thread).err, kErrSuccess);
+  ASSERT_TRUE(w.os.Enter(trivial.thread).exited());
   const uint64_t cold = w.machine.cycles.total() - before2;
   EXPECT_GT(cold, warm);  // the skipped flush is visible in cycles
 }

@@ -127,9 +127,9 @@ TEST(NotaryCoreTest, CostsScaleWithDocumentSize) {
 
 TEST(NotaryEnclaveTest, InitPublishesModulus) {
   NotarySetup n;
-  const os::SmcRet r = n.w.os.Enter(n.thread, kNotaryCmdInit);
-  ASSERT_EQ(r.err, kErrSuccess);
-  EXPECT_EQ(r.val, 0u);
+  const os::EnterResult r = n.w.os.Enter(n.thread, kNotaryCmdInit);
+  ASSERT_TRUE(r.exited());
+  EXPECT_EQ(r.payload, 0u);
   // Modulus appears in the shared page following the document region.
   const paddr base = n.doc_pg0 * arm::kPageSize + kNotaryMaxDocBytes;
   word nonzero = 0;
@@ -141,12 +141,12 @@ TEST(NotaryEnclaveTest, InitPublishesModulus) {
 
 TEST(NotaryEnclaveTest, NotarizeProducesVerifiableSignature) {
   NotarySetup n;
-  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdInit).err, kErrSuccess);
+  ASSERT_TRUE(n.w.os.Enter(n.thread, kNotaryCmdInit).exited());
   const std::vector<uint8_t> doc(1000, 0x5c);
   n.StageDocument(doc);
-  const os::SmcRet r = n.w.os.Enter(n.thread, kNotaryCmdNotarize, 1000);
-  ASSERT_EQ(r.err, kErrSuccess);
-  EXPECT_EQ(r.val, 1u);  // counter after first notarisation
+  const os::EnterResult r = n.w.os.Enter(n.thread, kNotaryCmdNotarize, 1000);
+  ASSERT_TRUE(r.exited());
+  EXPECT_EQ(r.payload, 1u);  // counter after first notarisation
 
   const std::vector<uint8_t> sig = n.ReadSignature(128);
   std::vector<uint8_t> message = doc;
@@ -157,32 +157,32 @@ TEST(NotaryEnclaveTest, NotarizeProducesVerifiableSignature) {
 
 TEST(NotaryEnclaveTest, CounterMonotonicAcrossEntries) {
   NotarySetup n;
-  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdInit).err, kErrSuccess);
+  ASSERT_TRUE(n.w.os.Enter(n.thread, kNotaryCmdInit).exited());
   const std::vector<uint8_t> doc(64, 1);
   n.StageDocument(doc);
   for (word expected = 1; expected <= 5; ++expected) {
-    EXPECT_EQ(n.w.os.Enter(n.thread, kNotaryCmdNotarize, 64).val, expected);
+    EXPECT_EQ(n.w.os.Enter(n.thread, kNotaryCmdNotarize, 64).payload, expected);
   }
 }
 
 TEST(NotaryEnclaveTest, RejectsOversizedDocument) {
   NotarySetup n;
-  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdInit).err, kErrSuccess);
-  EXPECT_EQ(n.w.os.Enter(n.thread, kNotaryCmdNotarize, kNotaryMaxDocBytes + 1).val, 0u);
-  EXPECT_EQ(n.w.os.Enter(n.thread, kNotaryCmdNotarize, 0).val, 0u);
+  ASSERT_TRUE(n.w.os.Enter(n.thread, kNotaryCmdInit).exited());
+  EXPECT_EQ(n.w.os.Enter(n.thread, kNotaryCmdNotarize, kNotaryMaxDocBytes + 1).payload, 0u);
+  EXPECT_EQ(n.w.os.Enter(n.thread, kNotaryCmdNotarize, 0).payload, 0u);
 }
 
 TEST(NotaryBackendsTest, EnclaveAndNativeProduceSameSignatures) {
   // Same key seed => both backends are the same notary; Figure 5 compares
   // their performance on identical work.
   NotarySetup n(777);
-  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdInit).err, kErrSuccess);
+  ASSERT_TRUE(n.w.os.Enter(n.thread, kNotaryCmdInit).exited());
   NotaryNative native(777);
   native.Init();
 
   const std::vector<uint8_t> doc(4096, 0xd0);
   n.StageDocument(doc);
-  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdNotarize, 4096).val, 1u);
+  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdNotarize, 4096).payload, 1u);
   const std::vector<uint8_t> enclave_sig = n.ReadSignature(128);
   const std::vector<uint8_t> native_sig = native.Notarize(doc);
   EXPECT_EQ(enclave_sig, native_sig);
@@ -191,14 +191,14 @@ TEST(NotaryBackendsTest, EnclaveAndNativeProduceSameSignatures) {
 TEST(NotaryBackendsTest, EnclaveCostExceedsNativeByCrossingOnly) {
   NotarySetup n(9);
   NotaryNative native(9);
-  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdInit).err, kErrSuccess);
+  ASSERT_TRUE(n.w.os.Enter(n.thread, kNotaryCmdInit).exited());
   native.Init();
   native.ResetCycles();
 
   const std::vector<uint8_t> doc(16384, 0x11);
   n.StageDocument(doc);
   const uint64_t before = n.w.machine.cycles.total();
-  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdNotarize, 16384).val, 1u);
+  ASSERT_EQ(n.w.os.Enter(n.thread, kNotaryCmdNotarize, 16384).payload, 1u);
   const uint64_t enclave_cycles = n.w.machine.cycles.total() - before;
   native.Notarize(doc);
   const uint64_t native_cycles = native.cycles();

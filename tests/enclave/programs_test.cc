@@ -46,28 +46,29 @@ TEST(ProgramsTest, ProgramsFitOnePageWithRoom) {
 
 TEST(ProgramsTest, EchoSharedEndToEnd) {
   World w{64};
-  os::Os::BuildOptions opts;
-  opts.with_shared_page = true;
   EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave(EchoSharedProgram(), &opts, &e), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code(EchoSharedProgram()).SharedPage().Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
   for (word x : {0u, 1u, 21u, 0x7fffffffu}) {
-    w.os.WriteInsecure(opts.shared_insecure_pgnr, 0, x);
-    const os::SmcRet r = w.os.Enter(e.thread);
-    ASSERT_EQ(r.err, kErrSuccess);
-    EXPECT_EQ(r.val, x);
-    EXPECT_EQ(w.os.ReadInsecure(opts.shared_insecure_pgnr, 1), 2 * x + 1);
+    w.os.WriteInsecure(e.shared_insecure_pgnr, 0, x);
+    const os::EnterResult r = w.os.Enter(e.thread);
+    ASSERT_TRUE(r.exited());
+    EXPECT_EQ(r.payload, x);
+    EXPECT_EQ(w.os.ReadInsecure(e.shared_insecure_pgnr, 1), 2 * x + 1);
   }
 }
 
 TEST(ProgramsTest, CounterAccumulates) {
   World w{64};
-  os::Os::BuildOptions opts;
   EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave(CounterProgram(), &opts, &e), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code(CounterProgram()).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
   word total = 0;
   for (word add : {3u, 0u, 100u, 1u}) {
     total += add;
-    EXPECT_EQ(w.os.Enter(e.thread, add).val, total);
+    EXPECT_EQ(w.os.Enter(e.thread, add).payload, total);
   }
 }
 

@@ -17,16 +17,16 @@ using os::World;
 class Sha256ProgramTest : public ::testing::Test {
  protected:
   Sha256ProgramTest() {
-    os::Os::BuildOptions opts;
-    opts.with_shared_page = true;
-    EXPECT_EQ(w.os.BuildEnclave(Sha256Program(), &opts, &e), kErrSuccess);
-    shared_pg = opts.shared_insecure_pgnr;
+    auto built_e = w.os.NewEnclave().Code(Sha256Program()).SharedPage().Build();
+    EXPECT_TRUE(built_e.ok());
+    if (built_e.ok()) e = *std::move(built_e);
+    shared_pg = e.shared_insecure_pgnr;
   }
 
   std::array<uint8_t, 32> HashInEnclave(const std::vector<uint8_t>& message) {
     const word nblocks = StageSha256Message(w.os, shared_pg, message);
-    const os::SmcRet r = w.os.Enter(e.thread, nblocks);
-    EXPECT_EQ(r.err, kErrSuccess) << KomErrName(r.err);
+    const os::EnterResult r = w.os.Enter(e.thread, nblocks);
+    EXPECT_TRUE(r.exited()) << KomErrName(r.err);
     return ReadSha256Digest(w.os, shared_pg);
   }
 
@@ -83,27 +83,27 @@ TEST_F(Sha256ProgramTest, SurvivesInterruptAndResume) {
   Monitor::Config cfg;
   cfg.max_enclave_steps = 700;  // well below one block's work
   World small(64, cfg);
-  os::Os::BuildOptions opts;
-  opts.with_shared_page = true;
   EnclaveHandle enclave;
-  ASSERT_EQ(small.os.BuildEnclave(Sha256Program(), &opts, &enclave), kErrSuccess);
+  auto built_enclave = small.os.NewEnclave().Code(Sha256Program()).SharedPage().Build();
+  ASSERT_TRUE(built_enclave.ok());
+  enclave = *std::move(built_enclave);
 
   std::vector<uint8_t> message(300);
   for (size_t i = 0; i < message.size(); ++i) {
     message[i] = static_cast<uint8_t>(i);
   }
-  const word nblocks = StageSha256Message(small.os, opts.shared_insecure_pgnr, message);
-  os::SmcRet r = small.os.Enter(enclave.thread, nblocks);
+  const word nblocks = StageSha256Message(small.os, enclave.shared_insecure_pgnr, message);
+  os::EnterResult r = small.os.Enter(enclave.thread, nblocks);
   int interrupts = 0;
-  while (r.err == kErrInterrupted) {
+  while (r.interrupted()) {
     ++interrupts;
     ASSERT_LT(interrupts, 200);
     r = small.os.Resume(enclave.thread);
   }
-  ASSERT_EQ(r.err, kErrSuccess);
+  ASSERT_TRUE(r.exited());
   EXPECT_GT(interrupts, 3) << "budget too generous to exercise resume";
 
-  const auto enclave_digest = ReadSha256Digest(small.os, opts.shared_insecure_pgnr);
+  const auto enclave_digest = ReadSha256Digest(small.os, enclave.shared_insecure_pgnr);
   const crypto::Digest host_digest = crypto::Sha256Hash(message);
   EXPECT_TRUE(std::equal(enclave_digest.begin(), enclave_digest.end(), host_digest.begin()));
 }
@@ -117,13 +117,13 @@ TEST_F(Sha256ProgramTest, CycleCostPerBlockMatchesCalibration) {
   word nblocks = StageSha256Message(w.os, shared_pg, one);
   ASSERT_EQ(nblocks, 1u);
   uint64_t before = w.machine.cycles.total();
-  ASSERT_EQ(w.os.Enter(e.thread, 1).err, kErrSuccess);
+  ASSERT_TRUE(w.os.Enter(e.thread, 1).exited());
   const uint64_t one_block = w.machine.cycles.total() - before;
 
   nblocks = StageSha256Message(w.os, shared_pg, nine);
   ASSERT_EQ(nblocks, 9u);
   before = w.machine.cycles.total();
-  ASSERT_EQ(w.os.Enter(e.thread, 9).err, kErrSuccess);
+  ASSERT_TRUE(w.os.Enter(e.thread, 9).exited());
   const uint64_t nine_blocks = w.machine.cycles.total() - before;
 
   const uint64_t per_block = (nine_blocks - one_block) / 8;

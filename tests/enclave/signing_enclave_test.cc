@@ -20,26 +20,26 @@ class SigningEnclaveTest : public ::testing::Test {
  protected:
   SigningEnclaveTest() : runtime(w.monitor) {
     // The attestor: an interpreted A32 enclave producing a local attestation.
-    os::Os::BuildOptions aopts;
-    aopts.with_shared_page = true;
-    EXPECT_EQ(w.os.BuildEnclave(AttestProgram(), &aopts, &attestor), kErrSuccess);
-    attestor_shared = aopts.shared_insecure_pgnr;
+    auto built_attestor = w.os.NewEnclave().Code(AttestProgram()).SharedPage().Build();
+    EXPECT_TRUE(built_attestor.ok());
+    if (built_attestor.ok()) attestor = *std::move(built_attestor);
+    attestor_shared = attestor.shared_insecure_pgnr;
 
     // The signer: a native program in its own enclave.
-    os::Os::BuildOptions sopts;
-    sopts.with_shared_page = true;
-    EXPECT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &sopts, &signer), kErrSuccess);
-    signer_shared = sopts.shared_insecure_pgnr;
+    auto built_signer = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).SharedPage().Build();
+    EXPECT_TRUE(built_signer.ok());
+    if (built_signer.ok()) signer = *std::move(built_signer);
+    signer_shared = signer.shared_insecure_pgnr;
     program = std::make_shared<SigningEnclave>(/*key_seed=*/99);
     runtime.Register(signer.l1pt, program);
-    EXPECT_EQ(w.os.Enter(signer.thread, kSignerCmdInit).val, 1u);
+    EXPECT_EQ(w.os.Enter(signer.thread, kSignerCmdInit).payload, 1u);
   }
 
   // Produces a local attestation from the attestor over data derived from
   // `seed`, then stages (data, measurement, mac) into the signer's shared
   // page. Returns the measurement.
   std::array<word, 8> StageAttestation(word seed) {
-    EXPECT_EQ(w.os.Enter(attestor.thread, seed).err, kErrSuccess);
+    EXPECT_TRUE(w.os.Enter(attestor.thread, seed).exited());
     const auto db = spec::ExtractPageDb(w.machine);
     const auto measurement = db[attestor.addrspace].As<spec::AddrspacePage>().measurement;
     std::array<word, 8> out;
@@ -84,9 +84,9 @@ TEST_F(SigningEnclaveTest, PublishesEndorsableKey) {
 
 TEST_F(SigningEnclaveTest, GenuineAttestationGetsSigned) {
   const std::array<word, 8> measurement = StageAttestation(0x42);
-  const os::SmcRet r = w.os.Enter(signer.thread, kSignerCmdSign);
-  ASSERT_EQ(r.err, kErrSuccess);
-  ASSERT_EQ(r.val, 1u) << "signer refused a genuine attestation";
+  const os::EnterResult r = w.os.Enter(signer.thread, kSignerCmdSign);
+  ASSERT_TRUE(r.exited());
+  ASSERT_EQ(r.payload, 1u) << "signer refused a genuine attestation";
 
   // The remote verifier: checks against the endorsed public key only.
   std::array<word, 8> data;
@@ -101,14 +101,14 @@ TEST_F(SigningEnclaveTest, GenuineAttestationGetsSigned) {
 TEST_F(SigningEnclaveTest, RefusesTamperedData) {
   StageAttestation(0x42);
   w.os.WriteInsecure(signer_shared, 0, 0xbad);  // OS tampers with the data
-  EXPECT_EQ(w.os.Enter(signer.thread, kSignerCmdSign).val, 0u);
+  EXPECT_EQ(w.os.Enter(signer.thread, kSignerCmdSign).payload, 0u);
 }
 
 TEST_F(SigningEnclaveTest, RefusesTamperedMeasurement) {
   StageAttestation(0x42);
   const word original = w.os.ReadInsecure(signer_shared, 8);
   w.os.WriteInsecure(signer_shared, 8, original ^ 1);  // claim another identity
-  EXPECT_EQ(w.os.Enter(signer.thread, kSignerCmdSign).val, 0u);
+  EXPECT_EQ(w.os.Enter(signer.thread, kSignerCmdSign).payload, 0u);
 }
 
 TEST_F(SigningEnclaveTest, RefusesForgedMac) {
@@ -116,13 +116,13 @@ TEST_F(SigningEnclaveTest, RefusesForgedMac) {
   for (word i = 16; i < 24; ++i) {
     w.os.WriteInsecure(signer_shared, i, 0x41414141);
   }
-  EXPECT_EQ(w.os.Enter(signer.thread, kSignerCmdSign).val, 0u);
+  EXPECT_EQ(w.os.Enter(signer.thread, kSignerCmdSign).payload, 0u);
 }
 
 TEST_F(SigningEnclaveTest, SignatureBindsToData) {
   // A signature over one payload must not verify for another.
   const std::array<word, 8> measurement = StageAttestation(0x42);
-  ASSERT_EQ(w.os.Enter(signer.thread, kSignerCmdSign).val, 1u);
+  ASSERT_EQ(w.os.Enter(signer.thread, kSignerCmdSign).payload, 1u);
   std::array<word, 8> other_data;
   for (word i = 0; i < 8; ++i) {
     other_data[i] = 0x43 + i;
@@ -135,13 +135,13 @@ TEST_F(SigningEnclaveTest, SignatureBindsToData) {
 TEST_F(SigningEnclaveTest, SignBeforeInitRefused) {
   World fresh{128};
   NativeRuntime rt(fresh.monitor);
-  os::Os::BuildOptions opts;
-  opts.with_shared_page = true;
   EnclaveHandle e;
-  ASSERT_EQ(fresh.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e), kErrSuccess);
+  auto built_e = fresh.os.NewEnclave().Code({0xe3a00001, 0xef000000}).SharedPage().Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
   auto p = std::make_shared<SigningEnclave>(1);
   rt.Register(e.l1pt, p);
-  EXPECT_EQ(fresh.os.Enter(e.thread, kSignerCmdSign).val, 0u);
+  EXPECT_EQ(fresh.os.Enter(e.thread, kSignerCmdSign).payload, 0u);
 }
 
 }  // namespace

@@ -23,11 +23,12 @@ using obs::TraceEvent;
 // two Enters with SVC exits (enter/exit instants, SVC begin/end, TLB
 // flushes), plus an error-path SMC. Fully interpreted, so deterministic.
 void RunWorkload(os::World& w) {
-  os::Os::BuildOptions opts;
   os::EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave(enclave::AddTwoProgram(), &opts, &e), kErrSuccess);
-  EXPECT_EQ(w.os.Enter(e.thread, 2, 3).val, 5u);
-  EXPECT_EQ(w.os.Enter(e.thread, 40, 2).val, 42u);
+  auto built_e = w.os.NewEnclave().Code(enclave::AddTwoProgram()).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
+  EXPECT_EQ(w.os.Enter(e.thread, 2, 3).payload, 5u);
+  EXPECT_EQ(w.os.Enter(e.thread, 40, 2).payload, 42u);
   EXPECT_EQ(w.os.Smc(kSmcInitAddrspace, 9999, 9999).err, kErrInvalidPageNo);
 }
 

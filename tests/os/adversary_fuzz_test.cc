@@ -58,9 +58,10 @@ TEST(AdversaryFuzzTest, MonitorStateStaysInBoundsUnderFuzz) {
 
 TEST(AdversaryFuzzTest, BystanderEnclaveStillRunsAfterFuzz) {
   World w{32};
-  Os::BuildOptions opts;
   EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
 
   Adversary adv(w.os, 55);
   const auto protects = [&e](const AdvAction& a) {
@@ -82,8 +83,8 @@ TEST(AdversaryFuzzTest, BystanderEnclaveStillRunsAfterFuzz) {
     Adversary::Execute(w.os, a);
     ++executed;
   }
-  const SmcRet r = w.os.Enter(e.thread, 0, 5);
-  EXPECT_EQ(r.err, kErrSuccess);
+  const os::EnterResult r = w.os.Enter(e.thread, 0, 5);
+  EXPECT_TRUE(r.exited());
 }
 
 TEST(AdversaryFuzzTest, DeterministicReplay) {

@@ -134,11 +134,14 @@ TEST(InterpretedOsTest, ManyEnclaveLifecyclesNoLeak) {
   // model; the free-page set must return to its initial state every time.
   os::World w{32};
   for (int round = 0; round < 20; ++round) {
-    os::Os::BuildOptions opts;
-    opts.with_shared_page = (round % 2 == 0);
-    os::EnclaveHandle e;
-    ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e), kErrSuccess) << round;
-    ASSERT_EQ(w.os.Enter(e.thread).err, kErrSuccess);
+    auto builder = w.os.NewEnclave().Code({0xe3a00001, 0xef000000});
+    if (round % 2 == 0) {
+      builder.SharedPage();
+    }
+    auto built_e = builder.Build();
+    ASSERT_TRUE(built_e.ok()) << round;
+    os::EnclaveHandle e = *std::move(built_e);
+    ASSERT_TRUE(w.os.Enter(e.thread).exited());
     ASSERT_EQ(w.os.Stop(e.addrspace).err, kErrSuccess);
     for (PageNr p : e.data_pages) {
       ASSERT_EQ(w.os.Remove(p).err, kErrSuccess);

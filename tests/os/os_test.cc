@@ -65,44 +65,47 @@ TEST(OsTest, SmcRestoresOsContext) {
   EXPECT_EQ(w.machine.cpsr.mode, arm::Mode::kSupervisor);
 }
 
-TEST(OsTest, BuildEnclaveProducesRunnableLayout) {
+TEST(OsTest, BuilderProducesRunnableLayout) {
   World w{64};
-  Os::BuildOptions opts;
-  opts.with_shared_page = true;
-  opts.data_init = {42};
   EnclaveHandle e;
   // Exit immediately with r1 = 0 (mov r0,#1; svc).
-  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).SharedPage().Data({42}).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
   const spec::PageDb d = spec::ExtractPageDb(w.machine);
   EXPECT_EQ(d[e.addrspace].type(), PageType::kAddrspace);
   EXPECT_EQ(d[e.addrspace].As<spec::AddrspacePage>().state, AddrspaceState::kFinal);
   EXPECT_EQ(d[e.thread].type(), PageType::kDispatcher);
   ASSERT_EQ(e.data_pages.size(), 3u);  // code, data, stack
   EXPECT_EQ(d[e.data_pages[1]].As<spec::DataPage>().contents[0], 42u);
-  EXPECT_EQ(w.os.Enter(e.thread).err, kErrSuccess);
+  EXPECT_TRUE(w.os.Enter(e.thread).exited());
 }
 
-TEST(OsTest, BuildEnclavePropagatesMonitorErrors) {
+TEST(OsTest, BuilderPropagatesMonitorErrors) {
   World w{8};  // too few pages: builder runs the monitor out of valid pages
-  Os::BuildOptions opts;
   EnclaveHandle e;
   // 8 pages suffice for as+l1pt+l2+3 data+thread = 7; a second enclave fails.
-  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e), kErrSuccess);
-  EnclaveHandle e2;
-  EXPECT_NE(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &opts, &e2), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
+  auto built_e2 = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).Build();
+  ASSERT_FALSE(built_e2.ok());
+  EXPECT_NE(built_e2.error(), KomErr::kSuccess);
 }
 
 TEST(OsTest, MultipleEnclavesCoexist) {
   World w{64};
-  Os::BuildOptions o1;
-  Os::BuildOptions o2;
   EnclaveHandle a;
   EnclaveHandle b;
-  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &o1, &a), kErrSuccess);
-  ASSERT_EQ(w.os.BuildEnclave({0xe3a00001, 0xef000000}, &o2, &b), kErrSuccess);
+  auto built_a = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).Build();
+  ASSERT_TRUE(built_a.ok());
+  a = *std::move(built_a);
+  auto built_b = w.os.NewEnclave().Code({0xe3a00001, 0xef000000}).Build();
+  ASSERT_TRUE(built_b.ok());
+  b = *std::move(built_b);
   EXPECT_NE(a.addrspace, b.addrspace);
-  EXPECT_EQ(w.os.Enter(a.thread).err, kErrSuccess);
-  EXPECT_EQ(w.os.Enter(b.thread).err, kErrSuccess);
+  EXPECT_TRUE(w.os.Enter(a.thread).exited());
+  EXPECT_TRUE(w.os.Enter(b.thread).exited());
 }
 
 }  // namespace

@@ -83,17 +83,18 @@ PairedRun RunWithSecrets(const std::vector<word>& code, word s1, word s2) {
   p.w1 = std::make_unique<World>(64);
   p.w2 = std::make_unique<World>(64);
   for (World* w : {p.w1.get(), p.w2.get()}) {
-    os::Os::BuildOptions opts;
     os::EnclaveHandle e;
-    EXPECT_EQ(w->os.BuildEnclave(code, &opts, &e), kErrSuccess);
+    auto built_e = w->os.NewEnclave().Code(code).Build();
+    EXPECT_TRUE(built_e.ok());
+    if (built_e.ok()) e = *std::move(built_e);
     p.e = e;
     p.spare = w->os.AllocSecurePage();
     EXPECT_EQ(w->os.AllocSpare(e.addrspace, p.spare).err, kErrSuccess);
   }
   p.w1->machine.mem.Write(PagePaddr(p.e.data_pages[1]), s1);
   p.w2->machine.mem.Write(PagePaddr(p.e.data_pages[1]), s2);
-  EXPECT_EQ(p.w1->os.Enter(p.e.thread, p.spare).err, kErrSuccess);
-  EXPECT_EQ(p.w2->os.Enter(p.e.thread, p.spare).err, kErrSuccess);
+  EXPECT_TRUE(p.w1->os.Enter(p.e.thread, p.spare).exited());
+  EXPECT_TRUE(p.w2->os.Enter(p.e.thread, p.spare).exited());
   return p;
 }
 
@@ -150,16 +151,17 @@ TEST(DeclassificationTest, ExceptionTypeIsDeclassifiedNothingElse) {
   // the OS learns the *type* — r1 differs — and nothing else.
   auto run = [](const std::vector<word>& code) {
     auto w = std::make_unique<World>(64);
-    os::Os::BuildOptions opts;
     os::EnclaveHandle e;
-    EXPECT_EQ(w->os.BuildEnclave(code, &opts, &e), kErrSuccess);
+    auto built_e = w->os.NewEnclave().Code(code).Build();
+    EXPECT_TRUE(built_e.ok());
+    if (built_e.ok()) e = *std::move(built_e);
     // The OS scrubs its own staging pages so the comparison below sees only
     // what the *monitor and enclave* did to insecure memory. (The programs
     // differ, so the staging copies trivially differ — an OS-side artefact.)
     for (word pg = 16; pg < 32; ++pg) {
       w->os.WriteInsecurePage(pg, {});
     }
-    EXPECT_EQ(w->os.Enter(e.thread).err, kErrFault);
+    EXPECT_TRUE(w->os.Enter(e.thread).faulted());
     return w;
   };
   // Data abort:

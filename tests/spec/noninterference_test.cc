@@ -70,12 +70,14 @@ struct Pair {
 
   explicit Pair(const std::vector<word>& victim_code, word steps = 0)
       : w1(64, Config(steps)), w2(64, Config(steps)) {
-    os::Os::BuildOptions o1;
-    os::Os::BuildOptions o2;
     EnclaveHandle e1;
     EnclaveHandle e2;
-    EXPECT_EQ(w1.os.BuildEnclave(victim_code, &o1, &e1), kErrSuccess);
-    EXPECT_EQ(w2.os.BuildEnclave(victim_code, &o2, &e2), kErrSuccess);
+    auto built_e1 = w1.os.NewEnclave().Code(victim_code).Build();
+    EXPECT_TRUE(built_e1.ok());
+    if (built_e1.ok()) e1 = *std::move(built_e1);
+    auto built_e2 = w2.os.NewEnclave().Code(victim_code).Build();
+    EXPECT_TRUE(built_e2.ok());
+    if (built_e2.ok()) e2 = *std::move(built_e2);
     EXPECT_EQ(e1.addrspace, e2.addrspace);
     victim = e1;
   }
@@ -105,10 +107,10 @@ struct Pair {
 TEST(ConfidentialityTest, InternalComputationInvisibleToOs) {
   Pair p(InternalComputeProgram());
   p.PlantSecrets(0x1111, 0x2222);
-  const os::SmcRet r1 = p.w1.os.Enter(p.victim.thread);
-  const os::SmcRet r2 = p.w2.os.Enter(p.victim.thread);
+  const os::EnterResult r1 = p.w1.os.Enter(p.victim.thread);
+  const os::EnterResult r2 = p.w2.os.Enter(p.victim.thread);
   EXPECT_EQ(r1.err, r2.err);
-  EXPECT_EQ(r1.val, r2.val);
+  EXPECT_EQ(r1.payload, r2.payload);
   const auto violations = p.AdvViolations();
   EXPECT_TRUE(violations.empty()) << violations.front();
 }
@@ -116,17 +118,17 @@ TEST(ConfidentialityTest, InternalComputationInvisibleToOs) {
 TEST(ConfidentialityTest, InterruptedSecretContextInvisibleToOs) {
   Pair p(SecretSpinProgram(), /*steps=*/300);
   p.PlantSecrets(0xaaaa, 0xbbbb);
-  const os::SmcRet r1 = p.w1.os.Enter(p.victim.thread);
-  const os::SmcRet r2 = p.w2.os.Enter(p.victim.thread);
-  EXPECT_EQ(r1.err, kErrInterrupted);
-  EXPECT_EQ(r2.err, kErrInterrupted);
+  const os::EnterResult r1 = p.w1.os.Enter(p.victim.thread);
+  const os::EnterResult r2 = p.w2.os.Enter(p.victim.thread);
+  EXPECT_TRUE(r1.interrupted());
+  EXPECT_TRUE(r2.interrupted());
   // Secret-laden registers were saved to the thread page; nothing observable
   // may differ.
   auto violations = p.AdvViolations();
   EXPECT_TRUE(violations.empty()) << violations.front();
   // Resume and interrupt again; still nothing.
-  EXPECT_EQ(p.w1.os.Resume(p.victim.thread).err, kErrInterrupted);
-  EXPECT_EQ(p.w2.os.Resume(p.victim.thread).err, kErrInterrupted);
+  EXPECT_TRUE(p.w1.os.Resume(p.victim.thread).interrupted());
+  EXPECT_TRUE(p.w2.os.Resume(p.victim.thread).interrupted());
   violations = p.AdvViolations();
   EXPECT_TRUE(violations.empty()) << violations.front();
 }
@@ -151,10 +153,10 @@ TEST(ConfidentialityTest, ExitValueIsTheOnlyLeakWhenEnclaveDeclassifies) {
   // must be confined to r1 — nothing else may vary.
   Pair p(ExitWithSecretProgram());
   p.PlantSecrets(0x1111, 0x2222);
-  const os::SmcRet r1 = p.w1.os.Enter(p.victim.thread);
-  const os::SmcRet r2 = p.w2.os.Enter(p.victim.thread);
-  EXPECT_EQ(r1.val, 0x1111u);
-  EXPECT_EQ(r2.val, 0x2222u);
+  const os::EnterResult r1 = p.w1.os.Enter(p.victim.thread);
+  const os::EnterResult r2 = p.w2.os.Enter(p.victim.thread);
+  EXPECT_EQ(r1.payload, 0x1111u);
+  EXPECT_EQ(r2.payload, 0x2222u);
   const auto violations = p.AdvViolations();
   ASSERT_EQ(violations.size(), 1u);
   EXPECT_EQ(violations[0], "r1 differs");
@@ -166,14 +168,14 @@ TEST(ConfidentialityTest, EnclaveChoosingToWriteInsecureMemoryLeaks) {
   // difference. This documents the boundary of the guarantee.
   World w1{64};
   World w2{64};
-  os::Os::BuildOptions o1;
-  o1.with_shared_page = true;
-  os::Os::BuildOptions o2;
-  o2.with_shared_page = true;
   EnclaveHandle e1;
   EnclaveHandle e2;
-  ASSERT_EQ(w1.os.BuildEnclave(enclave::LeakSecretProgram(), &o1, &e1), kErrSuccess);
-  ASSERT_EQ(w2.os.BuildEnclave(enclave::LeakSecretProgram(), &o2, &e2), kErrSuccess);
+  auto built_e1 = w1.os.NewEnclave().Code(enclave::LeakSecretProgram()).SharedPage().Build();
+  ASSERT_TRUE(built_e1.ok());
+  e1 = *std::move(built_e1);
+  auto built_e2 = w2.os.NewEnclave().Code(enclave::LeakSecretProgram()).SharedPage().Build();
+  ASSERT_TRUE(built_e2.ok());
+  e2 = *std::move(built_e2);
   w1.machine.mem.Write(PagePaddr(e1.data_pages[1]), 0xaaaa);
   w2.machine.mem.Write(PagePaddr(e2.data_pages[1]), 0xbbbb);
   w1.os.Enter(e1.thread);
@@ -200,11 +202,11 @@ TEST(ConfidentialityTest, FaultingEnclaveRevealsOnlyExceptionType) {
   // Same program in both worlds (measurement must match); secrets differ.
   Pair p(make_faulter(0));
   p.PlantSecrets(0xdead, 0xbeef);
-  const os::SmcRet r1 = p.w1.os.Enter(p.victim.thread);
-  const os::SmcRet r2 = p.w2.os.Enter(p.victim.thread);
-  EXPECT_EQ(r1.err, kErrFault);
+  const os::EnterResult r1 = p.w1.os.Enter(p.victim.thread);
+  const os::EnterResult r2 = p.w2.os.Enter(p.victim.thread);
+  EXPECT_TRUE(r1.faulted());
   EXPECT_EQ(r1.err, r2.err);
-  EXPECT_EQ(r1.val, r2.val);  // same declassified exception type
+  EXPECT_EQ(r1.payload, r2.payload);  // same declassified exception type
   const auto violations = p.AdvViolations();
   EXPECT_TRUE(violations.empty()) << violations.front();
 }
@@ -224,10 +226,10 @@ TEST(IntegrityTest, OsGarbageCannotInfluenceEnclave) {
   p.w1.machine.mem.Write(arm::kInsecureBase + 0x7000, 0x1);
   p.w2.machine.mem.Write(arm::kInsecureBase + 0x7000, 0x2);
 
-  const os::SmcRet r1 = p.w1.os.Enter(p.victim.thread);
-  const os::SmcRet r2 = p.w2.os.Enter(p.victim.thread);
+  const os::EnterResult r1 = p.w1.os.Enter(p.victim.thread);
+  const os::EnterResult r2 = p.w2.os.Enter(p.victim.thread);
   EXPECT_EQ(r1.err, r2.err);
-  EXPECT_EQ(r1.val, r2.val);
+  EXPECT_EQ(r1.payload, r2.payload);
 
   // ≈enc for the victim: its own pages fully equal across the two worlds.
   const auto violations =
@@ -270,10 +272,10 @@ TEST(IntegrityTest, HostileSmcStormCannotCorruptEnclave) {
   }
   ASSERT_GT(executed, 100);
 
-  const os::SmcRet r1 = p.w1.os.Enter(p.victim.thread, 5);
-  const os::SmcRet r2 = p.w2.os.Enter(p.victim.thread, 5);
+  const os::EnterResult r1 = p.w1.os.Enter(p.victim.thread, 5);
+  const os::EnterResult r2 = p.w2.os.Enter(p.victim.thread, 5);
   EXPECT_EQ(r1.err, r2.err);
-  EXPECT_EQ(r1.val, r2.val);
+  EXPECT_EQ(r1.payload, r2.payload);
 
   // The victim's own pages are bit-identical across the two worlds.
   const spec::PageDb d1 = spec::ExtractPageDb(p.w1.machine);

@@ -111,14 +111,15 @@ TEST(RefinementTest, EnterPostConditions) {
       0xe3a00001,  // mov r0, #1 (kSvcExit)
       0xef000000,  // svc
   };
-  os::Os::BuildOptions opts;
   os::EnclaveHandle e;
-  ASSERT_EQ(w.os.BuildEnclave(code, &opts, &e), kErrSuccess);
+  auto built_e = w.os.NewEnclave().Code(code).Build();
+  ASSERT_TRUE(built_e.ok());
+  e = *std::move(built_e);
 
   const spec::PageDb before = spec::ExtractPageDb(w.machine);
-  const SmcRet r = w.os.Enter(e.thread, 0x1234, 0x77, 0);
-  EXPECT_EQ(r.err, kErrSuccess);
-  EXPECT_EQ(r.val, 0x77u);  // retval = r1 at exit = arg2 staged into r1
+  const os::EnterResult r = w.os.Enter(e.thread, 0x1234, 0x77, 0);
+  EXPECT_TRUE(r.exited());
+  EXPECT_EQ(r.payload, 0x77u);  // retval = r1 at exit = arg2 staged into r1
 
   const spec::PageDb after = spec::ExtractPageDb(w.machine);
   // Non-data pages unchanged; thread still not entered; invariants hold.

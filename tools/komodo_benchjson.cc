@@ -120,7 +120,37 @@ void ValidateCallStatsArray(const JsonValue& arr, const std::string& where) {
   }
 }
 
+// Optional "serve" section a komodo-serve daemon embeds in its metrics
+// document: the queue/eviction/batching counters plus two histograms.
+void ValidateServeSection(const JsonValue& serve, const std::string& where) {
+  for (const char* key :
+       {"sessions_created", "sessions_destroyed", "requests_submitted", "requests_completed",
+        "requests_failed", "queue_full_rejections", "queue_depth_hwm", "enters", "resumes",
+        "world_switches", "batches", "batched_requests", "evictions", "rebuilds",
+        "resident_pages"}) {
+    RequireMember(serve, where, key, JsonValue::Kind::kNumber);
+  }
+  const JsonValue* latency = nullptr;
+  if (RequireMember(serve, where, "request_latency_cycles", JsonValue::Kind::kObject, &latency)) {
+    ValidateHistogram(*latency, where + ".request_latency_cycles");
+  }
+  const JsonValue* batch = nullptr;
+  if (RequireMember(serve, where, "batch_size", JsonValue::Kind::kObject, &batch)) {
+    ValidateHistogram(*batch, where + ".batch_size");
+  }
+  // Internal consistency: enters + resumes must equal world_switches.
+  const JsonValue* enters = serve.Find("enters");
+  const JsonValue* resumes = serve.Find("resumes");
+  const JsonValue* switches = serve.Find("world_switches");
+  if (enters != nullptr && resumes != nullptr && switches != nullptr && enters->IsNumber() &&
+      resumes->IsNumber() && switches->IsNumber() &&
+      enters->number + resumes->number != switches->number) {
+    Fail(where, "enters + resumes != world_switches");
+  }
+}
+
 // komodo-metrics-v1: {"schema","counters":{...},"smc":[...],"svc":[...]}
+// plus an optional "serve" section (komodo-serve daemons).
 void ValidateMetrics(const JsonValue& root, const std::string& file) {
   const JsonValue* counters = nullptr;
   if (RequireMember(root, file, "counters", JsonValue::Kind::kObject, &counters)) {
@@ -137,6 +167,13 @@ void ValidateMetrics(const JsonValue& root, const std::string& file) {
   const JsonValue* svc = nullptr;
   if (RequireMember(root, file, "svc", JsonValue::Kind::kArray, &svc)) {
     ValidateCallStatsArray(*svc, file + " svc");
+  }
+  if (const JsonValue* serve = root.Find("serve")) {
+    if (!serve->IsObject()) {
+      Fail(file, "key \"serve\" has wrong type");
+    } else {
+      ValidateServeSection(*serve, file + " serve");
+    }
   }
 }
 

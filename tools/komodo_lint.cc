@@ -55,6 +55,8 @@ std::vector<NamedProgram> ShippedPrograms() {
       {"add_two", AddTwoProgram()},
       {"echo_shared", EchoSharedProgram()},
       {"counter", CounterProgram()},
+      {"counter_batch", CounterBatchProgram()},
+      {"echo_batch", EchoBatchProgram()},
       {"spin", SpinProgram()},
       {"attest", AttestProgram()},
       {"verify", VerifyProgram()},
