@@ -27,19 +27,19 @@ for arg in "$@"; do
   esac
 done
 
-echo "=== [1/11] tier-1: configure + build ==="
+echo "=== [1/12] tier-1: configure + build ==="
 cmake -B build -S . $(generator_for build) -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "=== [2/11] tier-1: ctest ==="
+echo "=== [2/12] tier-1: ctest ==="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [3/11] tier-1: ctest with interpreter caches disabled ==="
+echo "=== [3/12] tier-1: ctest with interpreter caches disabled ==="
 # The fast-path caches (DESIGN.md §8) must be architecturally invisible;
 # the whole suite has to pass with them off as well.
 KOMODO_INTERP_CACHE=off ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [3b/11] tier-1: ctest with the block JIT disabled ==="
+echo "=== [3b/12] tier-1: ctest with the block JIT disabled ==="
 # The A32→x64 translator (DESIGN.md §13) defaults on where supported, so the
 # plain run above already exercises it; this leg pins the interpreter-only
 # escape hatch, and the combination below the fully stripped configuration.
@@ -47,23 +47,23 @@ KOMODO_JIT=off ctest --test-dir build --output-on-failure -j "$JOBS"
 KOMODO_JIT=off KOMODO_INTERP_CACHE=off \
   ctest --test-dir build --output-on-failure -j "$JOBS" -R 'cycle_regression_test|interp_diff_test|jit_test'
 
-echo "=== [4/11] tier-1: ctest with tracing enabled ==="
+echo "=== [4/12] tier-1: ctest with tracing enabled ==="
 # The tracer (DESIGN.md §9) must be architecturally invisible too: the whole
 # suite — including the cycle-regression test — has to pass with every
 # monitor tracing into a live ring buffer.
 KOMODO_TRACE=on ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [5/11] bench smoke (cached/uncached invisibility check) ==="
+echo "=== [5/12] bench smoke (cached/uncached invisibility check) ==="
 ctest --test-dir build -L bench-smoke --output-on-failure
 
-echo "=== [6/11] bench/trace JSON artifacts validate ==="
+echo "=== [6/12] bench/trace JSON artifacts validate ==="
 # The bench-smoke runs above emitted komodo-bench-v1 / komodo-metrics-v1 /
 # chrome-trace artifacts into build/bench; a drifting emitter fails here.
 ./build/tools/komodo-benchjson build/bench/BENCH_*.json \
   build/bench/METRICS_fig5_notary.json
 ./build/tools/komodo-benchjson --schema chrome build/bench/TRACE_fig5_notary.json
 
-echo "=== [7/11] komodo-serve: daemon smoke (batching, eviction, line protocol) ==="
+echo "=== [7/12] komodo-serve: daemon smoke (batching, eviction, line protocol) ==="
 # The scripted demo exercises batched submission, a typed timeout and an
 # eviction/rebuild, and exits nonzero if any expectation fails. The stdin
 # leg drives the line protocol end to end and must produce exactly the
@@ -86,11 +86,11 @@ printf 'session 1\nrequest 1\nrequest 2\nresult 2 ok 11\ndestroyed 1 dropped 0\n
 cmp build/serve-load-1.out build/serve-load-2.out \
   || { echo "komodo-serve: nondeterministic load run" >&2; exit 1; }
 
-echo "=== [8/11] komodo-lint: shipped programs + fixtures ==="
+echo "=== [8/12] komodo-lint: shipped programs + fixtures ==="
 ./build/tools/komodo-lint --check-shipped
 ./build/tools/komodo-lint --check-fixtures
 
-echo "=== [9/11] komodo-verify: exhaustive small-world closure ==="
+echo "=== [9/12] komodo-verify: exhaustive small-world closure ==="
 # The model checker (DESIGN.md §12) must close the default small world with
 # all three obligations holding, byte-identically across runs, and at the
 # pinned closure hash — any drift in the PageDb serialization, the symmetry
@@ -108,7 +108,7 @@ grep -q "^closure-hash ${VERIFY_CLOSURE_HASH}\$" build/verify-small-1.out \
   || { echo "komodo-verify: closure hash drifted from the pinned value" >&2; exit 1; }
 ./build/tools/komodo-benchjson build/bench/BENCH_verify.json
 
-echo "=== [10/11] komodo-fuzz smoke (fixed seed, all oracles, determinism) ==="
+echo "=== [10/12] komodo-fuzz smoke (fixed seed, all oracles, determinism) ==="
 # A short fixed-seed campaign per oracle (DESIGN.md §10). Run twice; stdout —
 # including the campaign-hash over every generated trace and verdict — must be
 # byte-identical, or the fuzzer has lost replayability. The interp oracle is
@@ -121,13 +121,40 @@ cmp build/fuzz-smoke-1.out build/fuzz-smoke-2.out \
   || { echo "komodo-fuzz: nondeterministic campaign output" >&2; exit 1; }
 grep "^campaign-hash " build/fuzz-smoke-1.out
 
-echo "=== [11/11] komodo-fuzz parallel determinism (--jobs 1 vs --jobs 8) ==="
+echo "=== [11/12] komodo-fuzz parallel determinism (--jobs 1 vs --jobs 8) ==="
 # The sharded campaign hash (DESIGN.md §11) is defined to be independent of
 # the worker count; serial and 8-way stdout must be byte-identical.
 ./build/tools/komodo-fuzz "${FUZZ_ARGS[@]}" --jobs 8 2>/dev/null \
   > build/fuzz-smoke-jobs8.out
 cmp build/fuzz-smoke-1.out build/fuzz-smoke-jobs8.out \
   || { echo "komodo-fuzz: --jobs changed the campaign output" >&2; exit 1; }
+
+echo "=== [12/12] komodo-fuzz evolve smoke (coverage-guided, pinned v3 hash) ==="
+# Coverage-guided corpus evolution (DESIGN.md §15) at a pinned config: the v3
+# campaign hash covers every trace, verdict, coverage gain and the final
+# corpus digests, must match the pinned value, and must be independent of
+# --jobs. Re-pin when a change to the generator, mutators or coverage
+# features is *intended* (the bench acceptance gate separately requires
+# evolve to beat blind coverage at equal budget).
+EVOLVE_HASH=6b26c4ccebdfa30ef68914062b305ea3f4e6896d427d3b5792126ac574e4ba9e
+EVOLVE_ARGS=(--mode evolve --seed 20260807 --calls 400 --trace-len 30
+             --shards 4 --rounds 3 --max-corpus 32 --out build)
+./build/tools/komodo-fuzz "${EVOLVE_ARGS[@]}" 2>/dev/null > build/fuzz-evolve-1.out
+./build/tools/komodo-fuzz "${EVOLVE_ARGS[@]}" --jobs 8 2>/dev/null \
+  > build/fuzz-evolve-jobs8.out
+cmp build/fuzz-evolve-1.out build/fuzz-evolve-jobs8.out \
+  || { echo "komodo-fuzz: --jobs changed the evolve campaign output" >&2; exit 1; }
+grep -q "^campaign-hash ${EVOLVE_HASH}\$" build/fuzz-evolve-1.out \
+  || { echo "komodo-fuzz: evolve campaign hash drifted from the pinned value" >&2; exit 1; }
+grep "^coverage-curve " build/fuzz-evolve-1.out
+# CLI numeric parsing is strict: trailing junk and non-numbers must be
+# rejected with a clear error, not silently truncated to a prefix.
+if ./build/tools/komodo-fuzz --calls 10x 2>/dev/null; then
+  echo "komodo-fuzz: accepted malformed --calls 10x" >&2; exit 1
+fi
+if ./build/tools/komodo-fuzz --seed abc 2>/dev/null; then
+  echo "komodo-fuzz: accepted malformed --seed abc" >&2; exit 1
+fi
 
 if [[ "$SKIP_SANITIZERS" == 1 ]]; then
   echo "=== sanitizers: skipped (--skip-sanitizers) ==="
@@ -140,6 +167,15 @@ else
   echo "=== ASan+UBSan komodo-fuzz smoke ==="
   ./build-asan/tools/komodo-fuzz --seed 20260807 --calls 150 --trace-len 40 \
     --out build-asan >/dev/null
+  echo "=== ASan+UBSan komodo-fuzz evolve smoke ==="
+  # The mutation/coverage/corpus path under ASan, at the same pinned hash as
+  # the plain build: instrumented and plain campaigns must agree byte for
+  # byte.
+  ./build-asan/tools/komodo-fuzz --mode evolve --seed 20260807 --calls 400 \
+    --trace-len 30 --shards 4 --rounds 3 --max-corpus 32 --out build-asan \
+    2>/dev/null > build-asan/fuzz-evolve.out
+  grep -q "^campaign-hash ${EVOLVE_HASH}\$" build-asan/fuzz-evolve.out \
+    || { echo "komodo-fuzz: ASan evolve hash differs from plain build" >&2; exit 1; }
 
   echo "=== ASan+UBSan komodo-verify small-world closure ==="
   # The instrumented build must reach the same closure: a hash mismatch here
@@ -167,9 +203,10 @@ fi
 
 # clang-tidy is optional: the reference container only ships gcc.
 if command -v clang-tidy >/dev/null 2>&1 && [[ -f build/compile_commands.json ]]; then
-  echo "=== extra: clang-tidy (src/core src/spec src/analysis src/verify src/jit src/serve) ==="
+  echo "=== extra: clang-tidy (src/core src/spec src/analysis src/verify src/jit src/serve src/fuzz) ==="
   clang-tidy -p build --quiet \
-    src/core/*.cc src/spec/*.cc src/analysis/*.cc src/verify/*.cc src/jit/*.cc src/serve/*.cc
+    src/core/*.cc src/spec/*.cc src/analysis/*.cc src/verify/*.cc src/jit/*.cc src/serve/*.cc \
+    src/fuzz/*.cc
 else
   echo "=== extra: clang-tidy not found; skipping (config: .clang-tidy) ==="
 fi

@@ -120,4 +120,15 @@ void InterpCaches::InvalidateAll() {
   ++decode_epoch_;
 }
 
+std::vector<paddr> InterpCaches::ResidentDecodeAddrs() const {
+  std::vector<paddr> out;
+  for (const DecodeEntry& e : decode_) {
+    if (e.addr != kNoTag && e.epoch == decode_epoch_) {
+      out.push_back(e.addr);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace komodo::arm

@@ -121,6 +121,13 @@ class InterpCaches {
   void InvalidateTlb();
   void InvalidateAll();
 
+  // Physical word addresses with a live decode-cache entry (current epoch;
+  // generation staleness is irrelevant — the address was decoded during this
+  // epoch either way). Sorted and duplicate-free. This is a coverage signal
+  // for the fuzzer's evolve mode (DESIGN.md §15), not part of the cache's
+  // architectural contract.
+  std::vector<paddr> ResidentDecodeAddrs() const;
+
   const InterpCacheStats& stats() const { return stats_; }
 
  private:

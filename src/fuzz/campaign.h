@@ -1,4 +1,4 @@
-// Fuzzing campaign driver (DESIGN.md §10, §11): generates traces from a
+// Fuzzing campaign driver (DESIGN.md §10, §11, §15): generates traces from a
 // master seed, runs each through its oracle, and reports the canonically
 // first failure with both the original and the shrunk witness.
 //
@@ -15,6 +15,16 @@
 // completion, so the hash stays a pure function of the options. The reported
 // failure is the canonically first one (lowest oracle, then shard, then
 // trace index), not whichever worker happened to hit one first.
+//
+// Evolve mode (DESIGN.md §15) layers coverage-guided corpus evolution on the
+// same skeleton: the per-oracle call budget splits across `rounds`
+// synchronous generations; within a round every shard draws candidates from
+// its own seed stream — fresh traces, or deterministic mutations of the
+// round-start corpus snapshot — and measures each candidate's coverage
+// (PageDb shapes, obs events, interp/JIT residency). Shards never share
+// mid-round state; discoveries merge at the round barrier in canonical task
+// order, which keeps coverage, corpus and the v3 campaign hash jobs-
+// invariant. Every corpus entry is a replayable `komodo-fuzz-trace v1`.
 #ifndef SRC_FUZZ_CAMPAIGN_H_
 #define SRC_FUZZ_CAMPAIGN_H_
 
@@ -23,11 +33,17 @@
 #include <string>
 #include <vector>
 
+#include "src/fuzz/corpus.h"
 #include "src/fuzz/oracles.h"
 #include "src/fuzz/shrink.h"
 #include "src/fuzz/trace.h"
 
 namespace komodo::fuzz {
+
+enum class CampaignMode {
+  kBlind,   // stateless trace stream (v2 hash; byte-compatible with PR 5)
+  kEvolve,  // coverage-guided corpus evolution (v3 hash)
+};
 
 struct CampaignOptions {
   uint64_t seed = 1;
@@ -39,6 +55,15 @@ struct CampaignOptions {
   int jobs = 1;                  // worker threads; <= 0 = hardware concurrency
   uint32_t shards = 16;          // work split per oracle; part of the hash domain
   bool reuse_worlds = true;      // snapshot-reset world pooling (perf only)
+  CampaignMode mode = CampaignMode::kBlind;
+  // Evolve-mode knobs (all in the v3 hash domain):
+  uint32_t rounds = 4;           // corpus generations the call budget splits over
+  size_t max_corpus = 256;       // per-oracle corpus cap (deterministic eviction)
+  // Blind mode: also measure coverage (counted in stats, NEVER hashed — the
+  // v2 hash stays byte-identical with or without it). The evolve-vs-blind
+  // bench comparison uses this for an equal-budget coverage baseline.
+  bool measure_coverage = false;
+  std::string corpus_dir;        // evolve: save the final corpus here ("" = don't)
 };
 
 struct OracleStats {
@@ -53,6 +78,9 @@ struct OracleStats {
   // time, the comparable "work done" figure at any jobs count.
   double seconds = 0.0;
   double cpu_seconds = 0.0;
+  // Coverage accounting (evolve mode, or blind with measure_coverage):
+  uint64_t coverage_keys = 0;    // distinct keys this oracle reached
+  uint64_t corpus_entries = 0;   // final corpus size (evolve only)
 };
 
 struct CampaignResult {
@@ -68,6 +96,12 @@ struct CampaignResult {
   uint64_t worlds_built = 0;      // fresh World constructions
   uint64_t worlds_reused = 0;     // snapshot-resets of a pooled world
   uint64_t pages_restored = 0;    // dirty pages rewritten by those resets
+  // Coverage results (evolve mode, or blind with measure_coverage):
+  uint64_t coverage_keys = 0;     // summed distinct keys across oracles
+  // Cumulative coverage_keys after each evolve round (the growth curve).
+  std::vector<uint64_t> coverage_curve;
+  // Final per-oracle corpora, aligned with `stats` (evolve mode only).
+  std::vector<Corpus> corpora;
 };
 
 // The k-th trace seed of shard `shard` under master seed `seed`: shard
@@ -75,6 +109,11 @@ struct CampaignResult {
 // neighbouring shards share no traces. Exposed so tests and tools can
 // regenerate any shard's stream without a campaign.
 uint64_t ShardTraceSeed(uint64_t seed, uint32_t shard, uint64_t k);
+
+// The master seed of evolve round `round` under campaign seed `seed`; shard
+// streams within a round come from ShardTraceSeed(EvolveRoundSeed(...), ...).
+// Round streams are decorrelated the same way shard streams are.
+uint64_t EvolveRoundSeed(uint64_t seed, uint32_t round);
 
 // Runs the campaign. `log`, when given, receives one progress line per
 // completed oracle and on failure; it is only ever invoked from the calling

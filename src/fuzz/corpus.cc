@@ -1,0 +1,108 @@
+#include "src/fuzz/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "src/crypto/sha256.h"
+
+namespace komodo::fuzz {
+
+namespace fs = std::filesystem;
+
+bool Corpus::Add(Trace t, uint64_t gain, uint64_t round, uint64_t seq) {
+  std::string hash = t.Hash();
+  if (!hashes_.insert(hash).second) {
+    return false;
+  }
+  entries_.push_back(CorpusEntry{std::move(t), gain, round, seq, std::move(hash)});
+  return true;
+}
+
+void Corpus::Trim(size_t max_entries) {
+  if (entries_.size() <= max_entries) {
+    return;
+  }
+  // Survivor selection by (gain desc, seq asc); then back to admission order.
+  std::vector<CorpusEntry> sorted = std::move(entries_);
+  std::stable_sort(sorted.begin(), sorted.end(), [](const CorpusEntry& a, const CorpusEntry& b) {
+    if (a.gain != b.gain) return a.gain > b.gain;
+    return a.seq < b.seq;
+  });
+  sorted.resize(max_entries);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const CorpusEntry& a, const CorpusEntry& b) { return a.seq < b.seq; });
+  hashes_.clear();
+  for (const CorpusEntry& e : sorted) {
+    hashes_.insert(e.hash);
+  }
+  entries_ = std::move(sorted);
+}
+
+std::vector<const Trace*> Corpus::Traces() const {
+  std::vector<const Trace*> out;
+  out.reserve(entries_.size());
+  for (const CorpusEntry& e : entries_) {
+    out.push_back(&e.trace);
+  }
+  return out;
+}
+
+std::string Corpus::Digest() const {
+  crypto::Sha256 h;
+  for (const CorpusEntry& e : entries_) {
+    std::ostringstream line;
+    line << e.hash << " gain=" << e.gain << " round=" << e.round << " seq=" << e.seq << "\n";
+    const std::string s = line.str();
+    h.Update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+  return crypto::DigestToHex(h.Finalize());
+}
+
+bool Corpus::SaveDir(const std::string& dir) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return false;
+  }
+  std::ostringstream index;
+  for (const CorpusEntry& e : entries_) {
+    std::ostringstream name;
+    name << e.seq;
+    std::string seq = name.str();
+    if (seq.size() < 6) {
+      seq.insert(0, 6 - seq.size(), '0');
+    }
+    const std::string file = seq + "-" + e.hash.substr(0, 12) + ".trace";
+    if (!e.trace.WriteFile(dir + "/" + file)) {
+      return false;
+    }
+    index << file << " oracle=" << e.trace.oracle << " gain=" << e.gain << " round=" << e.round
+          << "\n";
+  }
+  std::ofstream out(dir + "/INDEX");
+  out << index.str();
+  return out.good();
+}
+
+std::vector<Trace> Corpus::LoadDir(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() == ".trace") {
+      files.push_back(it->path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Trace> out;
+  for (const std::string& f : files) {
+    if (auto t = Trace::ReadFile(f)) {
+      out.push_back(std::move(*t));
+    }
+  }
+  return out;
+}
+
+}  // namespace komodo::fuzz

@@ -1,0 +1,70 @@
+// Corpus store for evolve-mode fuzzing (DESIGN.md §15): the traces that
+// discovered new coverage, kept as mutation parents for later rounds.
+//
+// Determinism contract: a Corpus is a pure function of the admission sequence
+// — entries dedup by Trace::Hash(), the cap evicts by a total order
+// (lowest coverage gain first, newest first among ties), and iteration and
+// digests follow admission order. The campaign driver admits in canonical
+// (round, oracle, shard, trace) order, so the corpus — like the campaign
+// hash — is byte-identical at any --jobs count.
+//
+// Every entry is a replayable `komodo-fuzz-trace v1`; SaveDir writes one
+// trace file per entry (plus an INDEX with gains) that `komodo-fuzz --replay`
+// accepts unmodified.
+#ifndef SRC_FUZZ_CORPUS_H_
+#define SRC_FUZZ_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/fuzz/trace.h"
+
+namespace komodo::fuzz {
+
+struct CorpusEntry {
+  Trace trace;
+  uint64_t gain = 0;   // coverage keys that were new at admission
+  uint64_t round = 0;  // evolve round that admitted it
+  uint64_t seq = 0;    // campaign-wide admission sequence number (canonical)
+  std::string hash;    // Trace::Hash(); the dedup key
+};
+
+class Corpus {
+ public:
+  // Admits `t` unless an identical trace (by hash) is present. Returns
+  // whether the entry was added.
+  bool Add(Trace t, uint64_t gain, uint64_t round, uint64_t seq);
+
+  // Evicts down to `max_entries` by (gain ascending, seq descending): the
+  // cheapest discoveries go first, and among equals the older entry — whose
+  // descendants had more rounds to enter — survives. Admission order of the
+  // survivors is preserved.
+  void Trim(size_t max_entries);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+  // Parent pointers for MutateTrace, in admission order. Valid until the next
+  // mutating call.
+  std::vector<const Trace*> Traces() const;
+
+  // SHA-256 hex over (hash, gain, round, seq) lines in admission order; pins
+  // the corpus state in campaign hashes and tests.
+  std::string Digest() const;
+
+  // Writes one `<seq>-<hash prefix>.trace` file per entry into `dir`
+  // (created if missing) plus an INDEX file; returns false on any I/O error.
+  bool SaveDir(const std::string& dir) const;
+  // Reads every `*.trace` file under `dir` in filename order.
+  static std::vector<Trace> LoadDir(const std::string& dir);
+
+ private:
+  std::vector<CorpusEntry> entries_;
+  std::unordered_set<std::string> hashes_;
+};
+
+}  // namespace komodo::fuzz
+
+#endif  // SRC_FUZZ_CORPUS_H_

@@ -1,0 +1,160 @@
+#include "src/fuzz/mutate.h"
+
+#include <algorithm>
+
+#include "src/crypto/drbg.h"
+#include "src/fuzz/generator.h"
+
+namespace komodo::fuzz {
+
+namespace {
+
+using crypto::HashDrbg;
+
+const Trace& Pick(const std::vector<const Trace*>& parents, HashDrbg& drbg) {
+  return *parents[drbg.Below(static_cast<uint32_t>(parents.size()))];
+}
+
+void CapOps(Trace* t, size_t max_ops) {
+  if (max_ops == 0) {
+    max_ops = 1;
+  }
+  if (t->ops.size() > max_ops) {
+    t->ops.resize(max_ops);
+  }
+  if (t->ops.empty()) {
+    t->ops.push_back(TraceOp{});  // degenerate parents still yield a valid trace
+  }
+}
+
+// Prefix of A + suffix of B. The header (victim, secrets, inject) comes from
+// A; the world must be big enough for either parent's ops.
+Trace Splice(const Trace& a, const Trace& b, HashDrbg& drbg) {
+  Trace m = a;
+  m.pages = std::max(a.pages, b.pages);
+  const auto cut_a = drbg.Below(static_cast<uint32_t>(a.ops.size() + 1));
+  const auto cut_b = drbg.Below(static_cast<uint32_t>(b.ops.size() + 1));
+  m.ops.assign(a.ops.begin(), a.ops.begin() + cut_a);
+  m.ops.insert(m.ops.end(), b.ops.begin() + cut_b, b.ops.end());
+  return m;
+}
+
+// Continues A where its generator stopped. Regenerating A's seed at a longer
+// length replays the same drbg stream, so for generator-born parents the
+// appended ops are the adversary model's own coherent continuation — deeper
+// *valid* state (more pages owned, higher refcounts, fuller page tables)
+// that a fresh trace of the base length can never reach. Extend-born traces
+// keep the parent's seed (see MutateTrace), so extend-of-extend chains stay
+// exact generator streams and the coherence compounds round over round.
+// Parents born from other mutations carry a mutation seed instead, so their
+// "continuation" is merely fresh ops — no worse than blind diversity
+// stapled on.
+//
+// The target length is biased toward max_ops (max of two draws): an
+// extension replays its parent as a prefix, so the deeper the jump, the
+// smaller the replayed fraction of the resulting lineage.
+Trace Extend(const Trace& a, HashDrbg& drbg, size_t max_ops) {
+  Trace m = a;
+  const size_t room = max_ops > a.ops.size() ? max_ops - a.ops.size() : 1;
+  const uint32_t d1 = drbg.Below(static_cast<uint32_t>(room));
+  const uint32_t d2 = drbg.Below(static_cast<uint32_t>(room));
+  const size_t want = a.ops.size() + 1 + std::max(d1, d2);
+  const Trace deeper = GenerateTrace(a.oracle, a.seed, want);
+  m.pages = std::max(m.pages, deeper.pages);
+  if (deeper.ops.size() > a.ops.size()) {
+    m.ops.insert(m.ops.end(), deeper.ops.begin() + a.ops.size(), deeper.ops.end());
+  }
+  return m;
+}
+
+// Redirects the page-number argument of a few SMC ops — the cheapest way to
+// re-aim a known-interesting call sequence at different PageDb slots.
+Trace Retarget(const Trace& a, HashDrbg& drbg) {
+  Trace m = a;
+  if (m.ops.empty()) {
+    return m;
+  }
+  const uint32_t n = 1 + drbg.Below(4);
+  for (uint32_t i = 0; i < n; ++i) {
+    TraceOp& op = m.ops[drbg.Below(static_cast<uint32_t>(m.ops.size()))];
+    if (op.kind == OpKind::kSmc || op.kind == OpKind::kSvc) {
+      op.a[1] = drbg.Below(2 * m.pages + 2);
+    } else if (op.kind == OpKind::kPoke) {
+      op.a[0] = drbg.NextWord();
+    }
+  }
+  return m;
+}
+
+// Generic argument perturbation: bit flips, small deltas and the 0 /
+// 0xffffffff boundaries structured generators rarely emit.
+Trace ArgTweak(const Trace& a, HashDrbg& drbg) {
+  Trace m = a;
+  if (m.ops.empty()) {
+    return m;
+  }
+  const uint32_t n = 1 + drbg.Below(3);
+  for (uint32_t i = 0; i < n; ++i) {
+    TraceOp& op = m.ops[drbg.Below(static_cast<uint32_t>(m.ops.size()))];
+    word& arg = op.a[drbg.Below(5)];
+    switch (drbg.Below(4)) {
+      case 0:
+        arg ^= 1u << drbg.Below(32);
+        break;
+      case 1:
+        arg += drbg.Below(9) - 4;
+        break;
+      case 2:
+        arg = 0;
+        break;
+      default:
+        arg = 0xffffffffu;
+        break;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+Trace MutateTrace(const std::vector<const Trace*>& parents, uint64_t seed, size_t max_ops) {
+  HashDrbg drbg(seed);
+  const Trace& a = Pick(parents, drbg);
+  Trace m;
+  // Extend dominates the mix: it is the one operator that reliably reaches
+  // deeper valid state (see its comment); the arg perturbations mostly probe
+  // error paths, which saturate quickly.
+  bool keep_parent_seed = false;
+  switch (drbg.Below(8)) {
+    case 0:
+      m = Splice(a, Pick(parents, drbg), drbg);
+      break;
+    case 1:
+    case 2:
+    case 3:
+    case 4:
+    case 5:
+      m = Extend(a, drbg, max_ops);
+      // Keeping the parent's seed is what makes extend chains coherent: the
+      // child's ops are exactly GenerateTrace(seed, len), so extending *it*
+      // appends the generator's true continuation, not fresh noise. (If the
+      // parent was itself a non-extend mutant this is vacuous — its ops
+      // already diverged from its seed's stream.) Identical extend children
+      // of one parent collapse under the corpus's hash dedup.
+      keep_parent_seed = true;
+      break;
+    case 6:
+      m = Retarget(a, drbg);
+      break;
+    default:
+      m = ArgTweak(a, drbg);
+      break;
+  }
+  if (!keep_parent_seed) {
+    m.seed = seed;
+  }
+  CapOps(&m, max_ops);
+  return m;
+}
+
+}  // namespace komodo::fuzz

@@ -1,0 +1,39 @@
+// Deterministic trace mutators for evolve-mode fuzzing (DESIGN.md §15).
+//
+// A mutant derives from one or two parent traces (drawn from the round-start
+// corpus snapshot) plus a 64-bit seed from the campaign's shard stream.
+// Operator choice, parent choice, cut points and new argument values all come
+// from one HashDrbg over that seed, so the same (parents, seed) pair always
+// yields the same mutant — the property that keeps evolve-mode campaign
+// hashes jobs-invariant. Mutants stay inside the `komodo-fuzz-trace v1`
+// format by construction: headers are inherited from a parent and ops are
+// ordinary TraceOps, so every corpus entry replays under `komodo-fuzz
+// --replay`.
+//
+// Operators:
+//   splice     prefix of parent A + suffix of parent B (same oracle)
+//   extend     parent A + the ops of a freshly generated trace
+//   retarget   parent A with page-number-carrying SMC args redirected
+//   arg-tweak  parent A with a few op arguments perturbed (bit flips,
+//              small deltas, 0 / 0xffffffff boundary values)
+#ifndef SRC_FUZZ_MUTATE_H_
+#define SRC_FUZZ_MUTATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fuzz/trace.h"
+
+namespace komodo::fuzz {
+
+inline constexpr const char* kMutatorNames[] = {"splice", "extend", "retarget", "arg-tweak"};
+
+// Derives one mutant from `parents` (non-empty; all entries share the same
+// oracle). The result keeps at least one op and at most `max_ops`; its `seed`
+// field records `seed` for reporting (ops are serialized in full, so replay
+// never regenerates from the seed).
+Trace MutateTrace(const std::vector<const Trace*>& parents, uint64_t seed, size_t max_ops);
+
+}  // namespace komodo::fuzz
+
+#endif  // SRC_FUZZ_MUTATE_H_

@@ -5,9 +5,11 @@
 
 #include "src/arm/assembler.h"
 #include "src/core/kom_defs.h"
+#include "src/fuzz/coverage.h"
 #include "src/fuzz/generator.h"
 #include "src/fuzz/inject.h"
 #include "src/fuzz/pool.h"
+#include "src/obs/trace.h"
 #include "src/os/world.h"
 #include "src/spec/equivalence.h"
 #include "src/spec/extract.h"
@@ -19,6 +21,57 @@ namespace komodo::fuzz {
 namespace {
 
 Verdict Fail(int op, std::string detail) { return Verdict{true, op, std::move(detail)}; }
+
+// Arms the primary world's observability coverage hook for the duration of
+// one oracle run and harvests the keys on every exit path, including early
+// failure returns. Worlds listed in `machine_worlds` additionally contribute
+// their resident decode-cache / JIT block keys — callers only list worlds
+// whose cache/JIT enablement they set explicitly, so the harvested set never
+// depends on KOMODO_INTERP_CACHE / KOMODO_JIT environment defaults. The
+// tracer is cycle bit-identical on/off, so arming it cannot change a verdict.
+//
+// Must be declared *after* the world leases it references: it harvests in its
+// destructor, while the worlds are still leased.
+class CoverageScope {
+ public:
+  CoverageScope(os::World& primary, CoverageMap* cover,
+                std::vector<const os::World*> machine_worlds = {})
+      : primary_(primary), cover_(cover), machine_worlds_(std::move(machine_worlds)) {
+    if (cover_ == nullptr) {
+      return;
+    }
+    obs::Observability& obs = primary_.monitor.obs();
+    was_enabled_ = obs.enabled();
+    if (!was_enabled_) {
+      // Tiny ring: only the key set matters, not the event log.
+      obs.Enable(kCoverageRing);
+    }
+    obs.ArmCoverage();
+  }
+  CoverageScope(const CoverageScope&) = delete;
+  CoverageScope& operator=(const CoverageScope&) = delete;
+  ~CoverageScope() {
+    if (cover_ == nullptr) {
+      return;
+    }
+    HarvestObsCoverage(primary_, cover_);
+    for (const os::World* w : machine_worlds_) {
+      HarvestMachineCoverage(*w, cover_);
+    }
+    obs::Observability& obs = primary_.monitor.obs();
+    obs.DisarmCoverage();
+    if (!was_enabled_) {
+      obs.Disable();
+    }
+  }
+
+ private:
+  static constexpr size_t kCoverageRing = 64;
+  os::World& primary_;
+  CoverageMap* cover_;
+  std::vector<const os::World*> machine_worlds_;
+  bool was_enabled_ = false;
+};
 
 std::string OpLabel(const Trace& t, size_t i) {
   std::ostringstream out;
@@ -121,9 +174,10 @@ std::vector<word> DriverProgram() {
 
 // One replay loop serves both spec-backed oracles: with `with_spec` it is the
 // full bisimulation, without it only the PageDB invariants are checked.
-Verdict RunSpecBacked(const Trace& t, bool with_spec, WorldPool& pool) {
+Verdict RunSpecBacked(const Trace& t, bool with_spec, WorldPool& pool, CoverageMap* cover) {
   WorldPool::Lease lease = pool.Acquire(t.pages);
   os::World& w = lease.world();
+  CoverageScope coverage(w, cover);
 
   bool needs_driver = false;
   for (const TraceOp& op : t.ops) {
@@ -281,6 +335,9 @@ Verdict RunSpecBacked(const Trace& t, bool with_spec, WorldPool& pool) {
     if (auto bad = ExtractInto(w, t, i, &cur)) {
       return *bad;
     }
+    if (cover != nullptr) {
+      HarvestPageDbCoverage(cur, cover);
+    }
     const auto violations = spec::PageDbViolations(cur);
     if (!violations.empty()) {
       return Fail(static_cast<int>(i), OpLabel(t, i) + ": invariant: " + violations.front());
@@ -291,7 +348,7 @@ Verdict RunSpecBacked(const Trace& t, bool with_spec, WorldPool& pool) {
 
 // --- noninterference -----------------------------------------------------------
 
-Verdict RunNoninterference(const Trace& t, WorldPool& pool) {
+Verdict RunNoninterference(const Trace& t, WorldPool& pool, CoverageMap* cover) {
   if (t.victim.empty()) {
     return Fail(-1, "harness: noninterference trace needs a victim");
   }
@@ -299,6 +356,7 @@ Verdict RunNoninterference(const Trace& t, WorldPool& pool) {
   WorldPool::Lease lease2 = pool.Acquire(t.pages);
   os::World& w1 = lease1.world();
   os::World& w2 = lease2.world();
+  CoverageScope coverage(w1, cover);
   os::EnclaveHandle v1, v2;
   std::string why;
   if (!BuildVictim(w1, t.victim, &v1, &why) || !BuildVictim(w2, t.victim, &v2, &why)) {
@@ -349,6 +407,9 @@ Verdict RunNoninterference(const Trace& t, WorldPool& pool) {
     if (auto bad = ExtractInto(w2, t, i, &d2)) {
       return *bad;
     }
+    if (cover != nullptr) {
+      HarvestPageDbCoverage(d1, cover);
+    }
     const auto violations =
         spec::AdvEquivViolations(w1.machine, d1, w2.machine, d2, kInvalidPage);
     if (!violations.empty()) {
@@ -367,13 +428,16 @@ Verdict RunNoninterference(const Trace& t, WorldPool& pool) {
 // world is a translator bug. On hosts without JIT support the third world
 // degenerates into a second cached interpreter, which trivially agrees.
 
-Verdict RunInterp(const Trace& t, WorldPool& pool) {
+Verdict RunInterp(const Trace& t, WorldPool& pool, CoverageMap* cover) {
   WorldPool::Lease lease_c = pool.Acquire(t.pages);
   WorldPool::Lease lease_u = pool.Acquire(t.pages);
   WorldPool::Lease lease_j = pool.Acquire(t.pages);
   os::World& wc = lease_c.world();
   os::World& wu = lease_u.world();
   os::World& wj = lease_j.world();
+  // wc/wj set their cache/JIT enablement explicitly below, so their resident
+  // decode/JIT entries are legitimate (environment-independent) coverage.
+  CoverageScope coverage(wc, cover, {&wc, &wj});
   wc.machine.interp.set_enabled(true);
   wc.machine.jit.set_enabled(false);
   wu.machine.interp.set_enabled(false);
@@ -492,7 +556,7 @@ std::vector<std::string> MachineDiff(const arm::MachineState& a, const arm::Mach
   return v;
 }
 
-Verdict RunTrace(const Trace& t, bool apply_inject, WorldPool* pool) {
+Verdict RunTrace(const Trace& t, bool apply_inject, WorldPool* pool, CoverageMap* cover) {
   // One-shot callers get a throwaway pool, which degenerates to the old
   // construct-per-run behaviour (every Acquire builds a fresh world).
   WorldPool local_pool;
@@ -503,16 +567,16 @@ Verdict RunTrace(const Trace& t, bool apply_inject, WorldPool* pool) {
     return Fail(-1, "harness: unknown injection '" + inject + "'");
   }
   if (t.oracle == "refinement") {
-    return RunSpecBacked(t, /*with_spec=*/true, p);
+    return RunSpecBacked(t, /*with_spec=*/true, p, cover);
   }
   if (t.oracle == "invariants") {
-    return RunSpecBacked(t, /*with_spec=*/false, p);
+    return RunSpecBacked(t, /*with_spec=*/false, p, cover);
   }
   if (t.oracle == "noninterference") {
-    return RunNoninterference(t, p);
+    return RunNoninterference(t, p, cover);
   }
   if (t.oracle == "interp") {
-    return RunInterp(t, p);
+    return RunInterp(t, p, cover);
   }
   return Fail(-1, "harness: unknown oracle '" + t.oracle + "'");
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/arm/machine.h"
+#include "src/fuzz/coverage.h"
 #include "src/fuzz/trace.h"
 
 namespace komodo::fuzz {
@@ -44,7 +45,15 @@ struct Verdict {
 // reuse (DESIGN.md §11) instead of fresh construction; the verdict is
 // identical either way. The campaign driver and the shrinker pass their
 // per-thread pool; one-shot replays can leave it null.
-Verdict RunTrace(const Trace& t, bool apply_inject = true, WorldPool* pool = nullptr);
+//
+// `cover`, when given, accumulates the coverage keys the run touched
+// (DESIGN.md §15): per-op PageDb shape keys, the primary world's
+// observability event set, and — for the interp oracle, whose worlds set
+// their cache/JIT enablement explicitly — resident decode-cache and JIT
+// block keys. Collection is architecturally invisible (the tracer is cycle
+// bit-identical on/off), so the verdict never depends on it.
+Verdict RunTrace(const Trace& t, bool apply_inject = true, WorldPool* pool = nullptr,
+                 CoverageMap* cover = nullptr);
 
 // Full architectural-state comparison (the non-gtest form of the interp-diff
 // suite's ExpectSameState): registers, banked state, CPSR/SPSRs, system

@@ -3,6 +3,7 @@
 // interpreter's RunUntilException loop calls.
 #include "src/jit/jit.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -57,6 +58,22 @@ void JitState::InvalidateAll() {
   if (engine_ != nullptr) {
     engine_->InvalidateAll();
   }
+}
+
+std::vector<ResidentBlock> JitState::ResidentBlocks() const {
+  std::vector<ResidentBlock> out;
+  if (engine_ == nullptr) {
+    return out;
+  }
+  engine_->ForEachResident([&out](const BlockEntry& e) {
+    out.push_back({e.phys, e.va, e.kind == BlockKind::kCompiled});
+  });
+  std::sort(out.begin(), out.end(), [](const ResidentBlock& a, const ResidentBlock& b) {
+    if (a.phys != b.phys) return a.phys < b.phys;
+    if (a.va != b.va) return a.va < b.va;
+    return a.compiled < b.compiled;
+  });
+  return out;
 }
 
 Engine* JitState::GetEngine() {

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 namespace komodo::arm {
 struct MachineState;
@@ -49,6 +50,15 @@ struct JitStats {
 
 class Engine;  // code cache + translator; private to the jit library
 
+// One live code-cache entry, exported for the fuzzer's evolve-mode coverage
+// harvest (DESIGN.md §15): the (phys, va) block key plus whether the entry is
+// compiled code or a cached interpret-one verdict.
+struct ResidentBlock {
+  uint64_t phys = 0;
+  uint64_t va = 0;
+  bool compiled = false;
+};
+
 // Per-machine JIT handle, mirroring InterpCaches' discipline: the enabled
 // flag copies with the machine, the engine (code cache) is lazily allocated
 // and always starts cold in a copy, and nothing here is architectural state.
@@ -68,6 +78,11 @@ class JitState {
 
   // Orphans every translated block (epoch bump, O(1)).
   void InvalidateAll();
+
+  // Live block-table entries (current epoch), sorted by (phys, va). Empty
+  // when the engine was never created. Coverage signal only; never part of
+  // the JIT's architectural contract.
+  std::vector<ResidentBlock> ResidentBlocks() const;
 
   // Lazily constructed engine; nullptr when unavailable (non-x86_64, or the
   // executable mapping failed — both degrade to interpreter-only).

@@ -127,6 +127,16 @@ class Engine {
 
   void InvalidateAll() { ++epoch_; }
 
+  // Visits every live (current-epoch) table entry, in table order.
+  template <typename Fn>
+  void ForEachResident(Fn&& fn) const {
+    for (const BlockEntry& e : table_) {
+      if (e.kind != BlockKind::kEmpty && e.epoch == epoch_) {
+        fn(e);
+      }
+    }
+  }
+
  private:
   Engine() = default;
 

@@ -83,6 +83,7 @@ void Observability::Reset() {
   ring_.clear();
   depth_ = 0;
   next_seq_ = 0;
+  coverage_.clear();
   counters_ = Counters{};
   smc_stats_.clear();
   svc_stats_.clear();
@@ -191,6 +192,9 @@ void Observability::EndCall(EventKind kind, uint32_t call, const char* name, uin
   e.steps = snap.steps;
   e.wall_ns = WallNs();
   Record(e);
+  if (coverage_armed_) {
+    coverage_.insert(CoverageKey(kind, call, err));
+  }
 
   Accumulate(kind == EventKind::kSmcEnd ? smc_stats_ : svc_stats_, call, name, err, pending,
              snap);
@@ -212,6 +216,9 @@ void Observability::Instant(EventKind kind, uint32_t code, const char* name,
   e.steps = snap.steps;
   e.wall_ns = WallNs();
   Record(e);
+  if (coverage_armed_) {
+    coverage_.insert(CoverageKey(kind, code, err));
+  }
 
   switch (kind) {
     case EventKind::kEnclaveEnter:

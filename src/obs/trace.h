@@ -34,6 +34,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -166,6 +167,27 @@ class Observability {
   // Clears events, counters and stats; keeps the enabled state and capacity.
   void Reset();
 
+  // Coverage export hook (evolve-mode fuzzing, DESIGN.md §15): while armed
+  // (and enabled), every completed call and every instant folds a packed
+  // (kind, code, err) key into a distinct-key set the fuzzer harvests. Keys
+  // are inserted at EndCall/Instant time, never read back from the ring, so
+  // the ring capacity (KOMODO_TRACE_BUF) cannot change the set. Reset()
+  // clears the keys but keeps the armed state, mirroring `enabled`.
+  static uint64_t CoverageKey(EventKind kind, uint32_t code, uint32_t err) {
+    return (static_cast<uint64_t>(kind) << 56) |
+           (static_cast<uint64_t>(code & 0xffffffu) << 32) | static_cast<uint64_t>(err);
+  }
+  void ArmCoverage() {
+    coverage_armed_ = true;
+    coverage_.clear();
+  }
+  void DisarmCoverage() {
+    coverage_armed_ = false;
+    coverage_.clear();
+  }
+  bool coverage_armed() const { return coverage_armed_; }
+  const std::set<uint64_t>& coverage_keys() const { return coverage_; }
+
   // Begin/End bracket one dispatched call. The returned Pending carries the
   // begin-side snapshots and must be handed back to EndCall. All recording
   // methods are no-ops when disabled (callers also guard on enabled() so the
@@ -206,9 +228,11 @@ class Observability {
   static uint64_t WallNs();
 
   bool enabled_ = false;
+  bool coverage_armed_ = false;
   uint8_t depth_ = 0;
   size_t capacity_ = 0;
   uint64_t next_seq_ = 0;
+  std::set<uint64_t> coverage_;
   std::vector<TraceEvent> ring_;
   Counters counters_;
   std::map<uint32_t, CallStats> smc_stats_;

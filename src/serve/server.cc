@@ -221,6 +221,12 @@ void Server::ExecuteRound(SessionId sid, Session& s, std::vector<Pending>& batch
   ++stats_.enters;
   ++stats_.world_switches;
 
+  // `slices` counts execution slices already consumed, and the initial Enter
+  // is the first one — so timeout_slices is the *total* slice budget, not a
+  // resume count. At the boundary, timeout_slices=1 means one Enter and zero
+  // Resumes: a request still interrupted after its first slice times out
+  // immediately. (Audited against an off-by-one suspicion: the accounting is
+  // correct; the boundary test pins it.)
   word slices = 1;
   while (r.interrupted()) {
     if (slices >= config_.timeout_slices) {

@@ -103,7 +103,10 @@ class Server {
     word nsecure_pages = arm::kDefaultSecurePages;
     word secure_page_budget = arm::kDefaultSecurePages;
     size_t queue_capacity = 64;
-    // Timeout = timeout_slices entries of steps_per_slice interpreted steps.
+    // Timeout = timeout_slices slices of steps_per_slice interpreted steps,
+    // *counting the initial Enter as the first slice*: a request gets
+    // timeout_slices - 1 Resumes before it is failed with kTimeout, and
+    // timeout_slices = 1 allows no Resume at all.
     uint64_t steps_per_slice = 200'000;
     word timeout_slices = 4;
     // Coalesce same-session requests into one Enter (batch-ABI programs).

@@ -157,6 +157,26 @@ TEST(ServeTest, TimeoutFailsTypedAndDestroysTheWedgedEnclave) {
   EXPECT_EQ(server.stats().rebuilds, 1u);
 }
 
+// Boundary pin for the slice accounting: the initial Enter consumes the
+// first slice, so timeout_slices=1 means one Enter, zero Resumes, one world
+// switch — not "one resume after the enter".
+TEST(ServeTest, TimeoutSlicesOfOneMeansEnterOnlyNoResume) {
+  Server::Config c = SmallConfig();
+  c.steps_per_slice = 500;
+  c.timeout_slices = 1;
+  Server server(DefaultCatalog(), c);
+  const SessionId spin = *server.CreateSession("spin");
+
+  auto r = server.Wait(*server.Submit(spin, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->ok);
+  EXPECT_EQ(r->failure, RequestFailure::kTimeout);
+  EXPECT_EQ(server.stats().enters, 1u);
+  EXPECT_EQ(server.stats().resumes, 0u);
+  EXPECT_EQ(server.stats().world_switches, 1u);
+  EXPECT_FALSE(server.session_built(spin));  // wedged enclave torn down
+}
+
 TEST(ServeTest, BatchingCoalescesSameSessionRequests) {
   Server server(DefaultCatalog(), SmallConfig());
   const SessionId sid = *server.CreateSession("counter");

@@ -14,10 +14,20 @@
 // --shards IS part of the hash domain: it defines how the trace stream is
 // split into independently seeded substreams.
 //
+// --mode evolve switches the campaign from the blind trace stream to
+// coverage-guided corpus evolution (DESIGN.md §15): the call budget splits
+// over --rounds synchronous generations, each mutating the traces that
+// discovered new coverage. Evolve stdout — including the v3 campaign hash,
+// per-oracle coverage/corpus counts and the coverage-curve line — obeys the
+// same determinism contract: a pure function of everything but --jobs and
+// --no-reuse.
+//
 // Usage:
 //   komodo-fuzz [--seed N] [--calls N] [--oracle all|<name>] [--trace-len N]
 //               [--inject <name>] [--no-shrink] [--out DIR]
 //               [--jobs N] [--shards N] [--no-reuse]
+//               [--mode blind|evolve] [--rounds N] [--max-corpus N]
+//               [--corpus-dir DIR]
 //   komodo-fuzz --replay FILE [--no-inject]
 //
 // Exit codes: 0 = no failure, 1 = oracle failure (witness written/printed),
@@ -35,9 +45,12 @@
 #include "src/fuzz/oracles.h"
 #include "src/fuzz/shrink.h"
 #include "src/fuzz/trace.h"
+#include "tools/cli_util.h"
 
 namespace {
 
+using komodo::cli::ParseU64;
+using komodo::fuzz::CampaignMode;
 using komodo::fuzz::CampaignOptions;
 using komodo::fuzz::CampaignResult;
 using komodo::fuzz::Trace;
@@ -49,6 +62,8 @@ int Usage() {
                "invariants|noninterference|interp]\n"
                "                   [--trace-len N] [--inject NAME] [--no-shrink] [--out DIR]\n"
                "                   [--jobs N] [--shards N] [--no-reuse]\n"
+               "                   [--mode blind|evolve] [--rounds N] [--max-corpus N]\n"
+               "                   [--corpus-dir DIR]\n"
                "       komodo-fuzz --replay FILE [--no-inject]\n");
   return 2;
 }
@@ -88,15 +103,15 @@ int main(int argc, char** argv) {
     if (arg == "--seed") {
       const char* v = next();
       if (v == nullptr) return Usage();
-      opts.seed = std::strtoull(v, nullptr, 0);
+      opts.seed = ParseU64("komodo-fuzz", "--seed", v);
     } else if (arg == "--calls") {
       const char* v = next();
       if (v == nullptr) return Usage();
-      opts.calls = std::strtoull(v, nullptr, 0);
+      opts.calls = ParseU64("komodo-fuzz", "--calls", v);
     } else if (arg == "--trace-len") {
       const char* v = next();
       if (v == nullptr) return Usage();
-      opts.trace_len = std::strtoul(v, nullptr, 0);
+      opts.trace_len = static_cast<size_t>(ParseU64("komodo-fuzz", "--trace-len", v, 1, 1 << 20));
     } else if (arg == "--oracle") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -117,15 +132,36 @@ int main(int argc, char** argv) {
     } else if (arg == "--jobs") {
       const char* v = next();
       if (v == nullptr) return Usage();
-      opts.jobs = static_cast<int>(std::strtol(v, nullptr, 0));
+      // 0 = use hardware concurrency.
+      opts.jobs = static_cast<int>(ParseU64("komodo-fuzz", "--jobs", v, 0, 4096));
     } else if (arg == "--shards") {
       const char* v = next();
       if (v == nullptr) return Usage();
-      opts.shards = static_cast<uint32_t>(std::strtoul(v, nullptr, 0));
-      if (opts.shards == 0) {
-        std::fprintf(stderr, "komodo-fuzz: --shards must be >= 1\n");
+      opts.shards = static_cast<uint32_t>(ParseU64("komodo-fuzz", "--shards", v, 1, 1 << 16));
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      if (std::strcmp(v, "blind") == 0) {
+        opts.mode = CampaignMode::kBlind;
+      } else if (std::strcmp(v, "evolve") == 0) {
+        opts.mode = CampaignMode::kEvolve;
+      } else {
+        std::fprintf(stderr, "komodo-fuzz: --mode expects blind or evolve, got '%s'\n", v);
         return 2;
       }
+    } else if (arg == "--rounds") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      opts.rounds = static_cast<uint32_t>(ParseU64("komodo-fuzz", "--rounds", v, 1, 1 << 16));
+    } else if (arg == "--max-corpus") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      opts.max_corpus =
+          static_cast<size_t>(ParseU64("komodo-fuzz", "--max-corpus", v, 1, 1 << 20));
+    } else if (arg == "--corpus-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      opts.corpus_dir = v;
     } else if (arg == "--no-reuse") {
       opts.reuse_worlds = false;
     } else if (arg == "--out") {
@@ -162,14 +198,33 @@ int main(int argc, char** argv) {
   const CampaignResult result = komodo::fuzz::RunCampaign(
       opts, [](const std::string& line) { std::fprintf(stderr, "%s\n", line.c_str()); });
 
+  const bool evolve = opts.mode == CampaignMode::kEvolve;
   for (const auto& st : result.stats) {
-    std::printf("oracle %s: %llu calls in %llu traces\n", st.oracle.c_str(),
-                static_cast<unsigned long long>(st.calls),
-                static_cast<unsigned long long>(st.traces));
+    if (evolve) {
+      std::printf("oracle %s: %llu calls in %llu traces, coverage-keys=%llu corpus=%llu\n",
+                  st.oracle.c_str(), static_cast<unsigned long long>(st.calls),
+                  static_cast<unsigned long long>(st.traces),
+                  static_cast<unsigned long long>(st.coverage_keys),
+                  static_cast<unsigned long long>(st.corpus_entries));
+    } else {
+      std::printf("oracle %s: %llu calls in %llu traces\n", st.oracle.c_str(),
+                  static_cast<unsigned long long>(st.calls),
+                  static_cast<unsigned long long>(st.traces));
+    }
     std::fprintf(stderr, "oracle %s: %.1f calls/s\n", st.oracle.c_str(),
                  st.seconds > 0 ? static_cast<double>(st.calls) / st.seconds : 0.0);
   }
+  if (evolve) {
+    std::printf("coverage-curve");
+    for (uint64_t keys : result.coverage_curve) {
+      std::printf(" %llu", static_cast<unsigned long long>(keys));
+    }
+    std::printf("\n");
+  }
   std::printf("campaign-hash %s\n", result.hash.c_str());
+  if (evolve && !opts.corpus_dir.empty()) {
+    std::fprintf(stderr, "corpus saved under %s\n", opts.corpus_dir.c_str());
+  }
 
   if (!result.failed) {
     std::printf("no failures (seed=%llu, %llu calls per oracle)\n",

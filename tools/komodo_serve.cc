@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/serve/server.h"
+#include "tools/cli_util.h"
 
 namespace {
 
@@ -236,13 +237,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--metrics-out") {
       metrics_out = next();
     } else if (arg == "--sessions") {
-      sessions = static_cast<word>(std::strtoul(next(), nullptr, 10));
+      sessions = static_cast<word>(
+          komodo::cli::ParseU64("komodo-serve", "--sessions", next(), 1, 1 << 20));
     } else if (arg == "--requests") {
-      requests = static_cast<word>(std::strtoul(next(), nullptr, 10));
+      requests = static_cast<word>(
+          komodo::cli::ParseU64("komodo-serve", "--requests", next(), 1, 1 << 28));
     } else if (arg == "--budget") {
-      budget = static_cast<word>(std::strtoul(next(), nullptr, 10));
+      budget = static_cast<word>(
+          komodo::cli::ParseU64("komodo-serve", "--budget", next(), 1, 1 << 20));
     } else if (arg == "--seed") {
-      seed = std::strtoull(next(), nullptr, 10);
+      seed = komodo::cli::ParseU64("komodo-serve", "--seed", next());
     } else if (arg == "--no-batch") {
       batching = false;
     } else {

@@ -22,6 +22,7 @@
 
 #include "bench/bench_util.h"
 #include "src/verify/explore.h"
+#include "tools/cli_util.h"
 
 namespace {
 
@@ -102,13 +103,15 @@ int main(int argc, char** argv) {
       if (v == nullptr) {
         return Usage(argv[0]);
       }
-      spec.pages = static_cast<komodo::word>(std::strtoul(v, nullptr, 0));
+      spec.pages = static_cast<komodo::word>(
+          komodo::cli::ParseU64("komodo-verify", "--pages", v, 1, 64));
     } else if (arg == "--max-addrspaces") {
       const char* v = next();
       if (v == nullptr) {
         return Usage(argv[0]);
       }
-      spec.max_addrspaces = static_cast<komodo::word>(std::strtoul(v, nullptr, 0));
+      spec.max_addrspaces = static_cast<komodo::word>(
+          komodo::cli::ParseU64("komodo-verify", "--max-addrspaces", v, 1, 64));
     } else if (arg == "--inject") {
       const char* v = next();
       if (v == nullptr) {
